@@ -1,0 +1,107 @@
+// Design-decision ablations (beyond the paper's Table IV) for the choices
+// DESIGN.md Sec. 3 calls out:
+//   1. positional/entity embeddings on the tokens (off = the literal
+//      content-only reading of the paper),
+//   2. instance normalization around the model,
+//   3. shape-space (z-normalized) segments for the offline clustering,
+//   4. extractor depth (paper: single layer; 2 = stacked extension).
+// Run on PEMS08, horizon 96.
+#include <cstdio>
+
+#include "core/focus_model.h"
+#include "core/offline.h"
+#include "harness/experiments.h"
+#include "utils/table.h"
+
+namespace {
+
+using namespace focus;
+
+core::FocusConfig BaseConfig(const harness::PreparedData& data,
+                             const harness::ExperimentProfile& profile,
+                             int64_t patch) {
+  core::FocusConfig cfg;
+  cfg.lookback = profile.lookback;
+  cfg.horizon = 96;
+  cfg.num_entities = data.dataset.num_entities();
+  cfg.patch_len = patch;
+  cfg.d_model = profile.d_model;
+  cfg.readout_queries = harness::ReadoutQueriesFor(96);
+  cfg.alpha = profile.alpha;
+  cfg.seed = 1;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace focus;
+  auto profile = harness::MakeProfile();
+  auto data = harness::PrepareDataset("PEMS08", profile);
+  const int64_t patch = harness::FocusPatchLenFor("PEMS08", profile);
+  const int64_t k = harness::FocusPrototypesFor("PEMS08", profile);
+
+  Tensor protos_shape =
+      harness::FitPrototypes(data, patch, k, profile.alpha, true, 1);
+  // Variant 3: cluster raw (non-normalized) segments instead.
+  Tensor protos_raw;
+  {
+    Tensor train_region = Slice(data.normalized, 1, 0, data.splits.train_end);
+    Tensor segments = cluster::ExtractSegments(train_region, patch,
+                                               /*normalize=*/false);
+    cluster::ClusteringConfig cc;
+    cc.segment_length = patch;
+    cc.num_prototypes = k;
+    cc.alpha = profile.alpha;
+    cc.seed = 1;
+    protos_raw = cluster::SegmentClustering(cc).Fit(segments).prototypes;
+  }
+
+  std::printf("=== Design ablations (PEMS08, horizon 96) ===\n");
+  Table table({"Variant", "MSE", "MAE", "Params(K)"});
+
+  struct Case {
+    const char* name;
+    core::FocusConfig cfg;
+    Tensor protos;
+  };
+  std::vector<Case> cases;
+  {
+    Case c{"FOCUS (as built)", BaseConfig(data, profile, patch), protos_shape};
+    cases.push_back(c);
+  }
+  {
+    Case c{"- positional embeddings", BaseConfig(data, profile, patch),
+           protos_shape};
+    c.cfg.positional_embedding = false;
+    cases.push_back(c);
+  }
+  {
+    Case c{"- instance norm", BaseConfig(data, profile, patch), protos_shape};
+    c.cfg.instance_norm = false;
+    cases.push_back(c);
+  }
+  {
+    Case c{"- shape-space clustering", BaseConfig(data, profile, patch),
+           protos_raw};
+    cases.push_back(c);
+  }
+  {
+    Case c{"+ second extractor layer", BaseConfig(data, profile, patch),
+           protos_shape};
+    c.cfg.num_layers = 2;
+    cases.push_back(c);
+  }
+
+  for (auto& c : cases) {
+    core::FocusModel model(c.cfg, c.protos);
+    auto outcome = harness::TrainAndEvaluate(model, data, profile.lookback,
+                                             96, profile);
+    table.AddRow({c.name, Table::Num(outcome.test.mse),
+                  Table::Num(outcome.test.mae),
+                  Table::Num(model.NumParameters() / 1e3, 1)});
+    std::fprintf(stderr, "[design] %s mse=%.4f\n", c.name, outcome.test.mse);
+  }
+  std::printf("%s", table.ToAscii().c_str());
+  return 0;
+}

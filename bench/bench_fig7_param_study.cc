@@ -1,0 +1,110 @@
+// Fig. 7 — Parameter study on PEMS08: (a) number of prototypes k,
+// (b) embedding size d, (c) input window size L, (d) patch length p.
+//
+// Reproduction targets (paper Sec. VIII-B): accuracy improves then
+// plateaus in k; diminishing returns in d while cost escalates; longer L
+// steadily reduces error at higher cost; shorter p improves accuracy but
+// raises overhead.
+#include <cstdio>
+
+#include "core/focus_model.h"
+#include "harness/experiments.h"
+#include "metrics/metrics.h"
+#include "utils/table.h"
+
+namespace {
+
+using namespace focus;
+
+struct Row {
+  double mse, mae, flops_m, mem_mb;
+};
+
+Row RunFocus(const harness::PreparedData& data,
+             const harness::ExperimentProfile& profile, int64_t lookback,
+             int64_t patch, int64_t k, int64_t d) {
+  Tensor prototypes = harness::FitPrototypes(data, patch, k, profile.alpha,
+                                             /*use_correlation=*/true, 1);
+  core::FocusConfig cfg;
+  cfg.lookback = lookback;
+  cfg.horizon = 96;
+  cfg.num_entities = data.dataset.num_entities();
+  cfg.patch_len = patch;
+  cfg.d_model = d;
+  cfg.readout_queries = harness::ReadoutQueriesFor(cfg.horizon);
+  cfg.alpha = profile.alpha;
+  cfg.seed = 1;
+  core::FocusModel model(cfg, prototypes);
+
+  auto outcome =
+      harness::TrainAndEvaluate(model, data, lookback, cfg.horizon, profile);
+  Rng rng(3);
+  Tensor sample =
+      Tensor::Randn({1, data.dataset.num_entities(), lookback}, rng);
+  auto eff = metrics::ProbeEfficiency(model, sample);
+  return {outcome.test.mse, outcome.test.mae, eff.flops / 1e6,
+          eff.peak_bytes / (1024.0 * 1024.0)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace focus;
+  auto profile = harness::MakeProfile();
+  auto data = harness::PrepareDataset("PEMS08", profile);
+  const int64_t L = profile.lookback;
+  const int64_t base_p = 16, base_k = profile.num_prototypes,
+                base_d = profile.d_model;
+
+  std::printf("=== Fig. 7: parameter study on PEMS08 (horizon 96) ===\n");
+
+  {
+    std::printf("--- (a) number of prototypes k ---\n");
+    Table t({"k", "MSE", "MAE", "FLOPs(M)", "PeakMem(MB)"});
+    for (int64_t k : {2, 4, 8, 16, 32, 64}) {
+      Row r = RunFocus(data, profile, L, base_p, k, base_d);
+      t.AddRow({std::to_string(k), Table::Num(r.mse), Table::Num(r.mae),
+                Table::Num(r.flops_m, 2), Table::Num(r.mem_mb, 2)});
+      std::fprintf(stderr, "[fig7a] k=%ld mse=%.4f\n", static_cast<long>(k),
+                   r.mse);
+    }
+    std::printf("%s", t.ToAscii().c_str());
+  }
+  {
+    std::printf("--- (b) embedding size d ---\n");
+    Table t({"d", "MSE", "MAE", "FLOPs(M)", "PeakMem(MB)"});
+    for (int64_t d : {16, 32, 64, 128}) {
+      Row r = RunFocus(data, profile, L, base_p, base_k, d);
+      t.AddRow({std::to_string(d), Table::Num(r.mse), Table::Num(r.mae),
+                Table::Num(r.flops_m, 2), Table::Num(r.mem_mb, 2)});
+      std::fprintf(stderr, "[fig7b] d=%ld mse=%.4f\n", static_cast<long>(d),
+                   r.mse);
+    }
+    std::printf("%s", t.ToAscii().c_str());
+  }
+  {
+    std::printf("--- (c) input window size L ---\n");
+    Table t({"L", "MSE", "MAE", "FLOPs(M)", "PeakMem(MB)"});
+    for (int64_t length : {64, 96, 128, 192, 256}) {
+      Row r = RunFocus(data, profile, length, base_p, base_k, base_d);
+      t.AddRow({std::to_string(length), Table::Num(r.mse), Table::Num(r.mae),
+                Table::Num(r.flops_m, 2), Table::Num(r.mem_mb, 2)});
+      std::fprintf(stderr, "[fig7c] L=%ld mse=%.4f\n",
+                   static_cast<long>(length), r.mse);
+    }
+    std::printf("%s", t.ToAscii().c_str());
+  }
+  {
+    std::printf("--- (d) patch length p ---\n");
+    Table t({"p", "MSE", "MAE", "FLOPs(M)", "PeakMem(MB)"});
+    for (int64_t p : {4, 8, 16, 32}) {
+      Row r = RunFocus(data, profile, L, p, base_k, base_d);
+      t.AddRow({std::to_string(p), Table::Num(r.mse), Table::Num(r.mae),
+                Table::Num(r.flops_m, 2), Table::Num(r.mem_mb, 2)});
+      std::fprintf(stderr, "[fig7d] p=%ld mse=%.4f\n", static_cast<long>(p),
+                   r.mse);
+    }
+    std::printf("%s", t.ToAscii().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Fig. 9 — Generalization to unseen test-set segment patterns.
+//
+// Operationalization: the test-region *inputs* receive steeper
+// intra-segment trends never seen in training (data::InjectTestShift), but
+// the forecast targets remain the clean continuation — i.e. "the input
+// sequences contain unseen segments" (paper Sec. VIII-D) and the model
+// must still recover the true dynamics. FOCUS and PatchTST (also
+// segmentation-based) are trained on identical clean data.
+//
+// Reproduction target: both models degrade on unseen input patterns, but
+// FOCUS degrades less — its assignment step associates new segments with
+// the nearest known prototype.
+#include <cstdio>
+
+#include "data/generator.h"
+#include "data/perturb.h"
+#include "harness/experiments.h"
+#include "metrics/metrics.h"
+#include "utils/table.h"
+
+int main() {
+  using namespace focus;
+  auto profile = harness::MakeProfile();
+  const int64_t horizon = 96;
+
+  // Clean and input-shifted copies of the same Electricity-shaped series.
+  auto cfg = data::PaperDatasetConfig("Electricity", profile.profile);
+  auto clean = data::Generate(cfg);
+  auto shifted = data::Generate(cfg);
+  const auto splits = data::ComputeSplits(clean);
+  {
+    Rng rng(42);
+    data::InjectTestShift(&shifted, splits.val_end,
+                          harness::FocusPatchLenFor("Electricity", profile),
+                          /*magnitude=*/1.5f, rng);
+  }
+  auto clean_data = harness::PrepareDataset(clean);
+  // Same train region => identical normalizer; normalize the shifted copy
+  // with it so inputs are in the same space.
+  harness::PreparedData shifted_data;
+  shifted_data.dataset = shifted;
+  shifted_data.splits = splits;
+  shifted_data.normalizer = clean_data.normalizer;
+  shifted_data.normalized =
+      shifted_data.normalizer.Normalize(shifted_data.dataset.values);
+
+  std::printf("=== Fig. 9: generalization to unseen input segments ===\n");
+  Table table({"Model", "CleanMSE", "UnseenInputMSE", "Degradation%"});
+  for (const std::string name : {"FOCUS", "PatchTST"}) {
+    auto model = harness::BuildModel(name, clean_data, profile.lookback,
+                                     horizon, profile);
+    auto train = harness::TrainWindows(clean_data, profile.lookback, horizon);
+    auto val = harness::ValWindows(clean_data, profile.lookback, horizon);
+    harness::TrainConfig tc;
+    tc.max_steps = profile.train_steps;
+    tc.batch_size = profile.batch_size;
+    tc.lr = profile.lr;
+    tc.val = &val;
+    harness::TrainModel(*model, train, tc);
+    model->SetTraining(false);
+
+    // Paired evaluation: x from the shifted series, y from the clean one.
+    auto clean_test =
+        harness::TestWindows(clean_data, profile.lookback, horizon);
+    auto shifted_test =
+        harness::TestWindows(shifted_data, profile.lookback, horizon);
+    NoGradGuard no_grad;
+    metrics::ForecastMetrics normal, unseen;
+    for (int64_t w = 0; w < clean_test.NumWindows();
+         w += profile.eval_stride) {
+      auto cw = clean_test.GetWindow(w);
+      auto sw = shifted_test.GetWindow(w);
+      normal.Accumulate(model->Forward(cw.x), cw.y);
+      unseen.Accumulate(model->Forward(sw.x), cw.y);
+    }
+    normal.Finalize();
+    unseen.Finalize();
+    const double degradation =
+        100.0 * (unseen.mse - normal.mse) / normal.mse;
+    table.AddRow({name, Table::Num(normal.mse), Table::Num(unseen.mse),
+                  Table::Num(degradation, 1)});
+    std::fprintf(stderr, "[fig9] %s clean=%.4f unseen=%.4f (+%.1f%%)\n",
+                 name.c_str(), normal.mse, unseen.mse, degradation);
+  }
+  std::printf("%s", table.ToAscii().c_str());
+  std::printf(
+      "Unseen inputs carry steeper intra-segment trends absent from "
+      "training; targets are the clean continuation.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Kernel microbenchmarks (google-benchmark): matmul / softmax throughput,
+// ProtoAttn vs full self-attention scaling in the token count (the paper's
+// O(kl) vs O(l^2) claim at kernel granularity), and offline clustering
+// throughput.
+#include <benchmark/benchmark.h>
+
+#include "cluster/segment_clustering.h"
+#include "core/proto_attn.h"
+#include "nn/attention.h"
+#include "tensor/ops.h"
+
+namespace focus {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SoftmaxLastDim(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  Tensor x = Tensor::Randn({n, n}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SoftmaxLastDim(x).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_SoftmaxLastDim)->Arg(128)->Arg(512);
+
+// ProtoAttn forward cost as the token count l grows: expect ~linear time.
+void BM_ProtoAttnForward(benchmark::State& state) {
+  const int64_t l = state.range(0);
+  const int64_t p = 16, d = 64, k = 16;
+  Rng rng(3);
+  auto embed = std::make_shared<nn::Linear>(p, d, rng);
+  Tensor protos = Tensor::Randn({k, p}, rng);
+  core::ProtoAttn attn(protos, embed, d, 0.2f, rng);
+  Tensor raw = Tensor::Randn({1, l, p}, rng);
+  Tensor emb = embed->Forward(raw).Detach();
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.Forward(raw, emb).data());
+  }
+  state.SetItemsProcessed(state.iterations() * l);
+}
+BENCHMARK(BM_ProtoAttnForward)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// Full self-attention forward cost: expect ~quadratic time in l.
+void BM_SelfAttnForward(benchmark::State& state) {
+  const int64_t l = state.range(0);
+  const int64_t d = 64;
+  Rng rng(4);
+  nn::MultiheadSelfAttention attn(d, 4, rng);
+  Tensor x = Tensor::Randn({1, l, d}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.Forward(x).data());
+  }
+  state.SetItemsProcessed(state.iterations() * l);
+}
+BENCHMARK(BM_SelfAttnForward)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// Offline clustering throughput (segments / second).
+void BM_SegmentClustering(benchmark::State& state) {
+  const int64_t num_segments = state.range(0);
+  Rng rng(5);
+  Tensor segments = Tensor::Randn({num_segments, 16}, rng);
+  for (auto _ : state) {
+    cluster::ClusteringConfig cfg;
+    cfg.segment_length = 16;
+    cfg.num_prototypes = 8;
+    cfg.max_iters = 5;
+    cfg.refine_steps = 5;
+    cfg.seed = 6;
+    auto result = cluster::SegmentClustering(cfg).Fit(segments);
+    benchmark::DoNotOptimize(result.prototypes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * num_segments);
+}
+BENCHMARK(BM_SegmentClustering)->Arg(512)->Arg(2048);
+
+void BM_NearestPrototypeAssignment(benchmark::State& state) {
+  const int64_t num_segments = state.range(0);
+  Rng rng(7);
+  Tensor segments = Tensor::Randn({num_segments, 16}, rng);
+  Tensor protos = Tensor::Randn({16, 16}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cluster::SegmentClustering::Assign(segments, protos, 0.2f));
+  }
+  state.SetItemsProcessed(state.iterations() * num_segments);
+}
+BENCHMARK(BM_NearestPrototypeAssignment)->Arg(1024)->Arg(8192);
+
+}  // namespace
+}  // namespace focus
+
+BENCHMARK_MAIN();

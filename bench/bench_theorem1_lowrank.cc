@@ -1,0 +1,127 @@
+// Theorem 1 (Sec. VI-B) — empirical validation of the low-rank
+// approximation argument behind ProtoAttn.
+//
+// Construct segment matrices P (l x p) with planted rank r, decompose them
+// as P~ = A C where A is the one-hot nearest-prototype assignment and C the
+// k cluster centroids of P's rows, and measure the relative error
+// ||P~ w - P w|| / ||P w|| for random projection vectors w (standing in for
+// columns of W_Q W_K^T).
+//
+// Reproduction targets: the error falls as k grows, is small once k reaches
+// the planted rank r, and is insensitive to l (the token count) — the
+// property that lets a fixed prototype budget serve arbitrarily long
+// inputs.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "cluster/segment_clustering.h"
+#include "tensor/ops.h"
+#include "utils/rng.h"
+#include "utils/table.h"
+
+namespace {
+
+using namespace focus;
+
+// Rows are noisy copies of r base patterns (scaled per row): rank ~ r, and
+// rows concentrate around r directions — the paper's actual data
+// assumption ("the number of fixed patterns ... is independent of the
+// length of historical data", Sec. VI-B).
+Tensor MakeLowRank(int64_t l, int64_t p, int64_t r, Rng& rng) {
+  Tensor patterns = Tensor::Randn({r, p}, rng);
+  Tensor out = Tensor::Empty({l, p});
+  for (int64_t i = 0; i < l; ++i) {
+    const int64_t j = static_cast<int64_t>(
+        rng.UniformInt(static_cast<uint64_t>(r)));
+    const float scale = static_cast<float>(rng.Uniform(0.5, 1.5));
+    for (int64_t d = 0; d < p; ++d) {
+      out.data()[i * p + d] =
+          scale * patterns.data()[j * p + d] +
+          0.05f * static_cast<float>(rng.Gaussian());
+    }
+  }
+  return out;
+}
+
+double RelativeError(const Tensor& p_mat, int64_t k, Rng& rng) {
+  const int64_t l = p_mat.size(0), p = p_mat.size(1);
+  // Cluster the rows of P into k prototypes (pure L2: the theorem's
+  // construction has no correlation term).
+  cluster::ClusteringConfig cfg;
+  cfg.segment_length = p;
+  cfg.num_prototypes = k;
+  cfg.alpha = 0.0f;
+  cfg.use_correlation = false;
+  cfg.max_iters = 20;
+  cfg.refine_steps = 5;
+  cfg.seed = rng.NextU64();
+  auto result = cluster::SegmentClustering(cfg).Fit(p_mat);
+
+  // P~ row i = prototype of row i's bucket.
+  Tensor approx = Tensor::Empty({l, p});
+  for (int64_t i = 0; i < l; ++i) {
+    const int64_t j = result.assignments[static_cast<size_t>(i)];
+    for (int64_t d = 0; d < p; ++d) {
+      approx.data()[i * p + d] = result.prototypes.data()[j * p + d];
+    }
+  }
+
+  // Median relative error over random projection vectors w.
+  std::vector<double> errors;
+  for (int trial = 0; trial < 8; ++trial) {
+    Tensor w = Tensor::Randn({p, 1}, rng);
+    Tensor exact = MatMul(p_mat, w);
+    Tensor tilde = MatMul(approx, w);
+    double num = 0, den = 0;
+    for (int64_t i = 0; i < l; ++i) {
+      const double d = tilde.data()[i] - exact.data()[i];
+      num += d * d;
+      den += exact.data()[i] * exact.data()[i];
+    }
+    errors.push_back(std::sqrt(num / (den + 1e-12)));
+  }
+  std::nth_element(errors.begin(), errors.begin() + errors.size() / 2,
+                   errors.end());
+  return errors[errors.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  using namespace focus;
+  Rng rng(17);
+  const int64_t p = 16;
+
+  std::printf("=== Theorem 1: relative error of the A*C decomposition ===\n");
+  {
+    std::printf("--- error vs k (l=256 rows, planted rank r=4) ---\n");
+    Table t({"k", "median rel. error"});
+    Tensor mat = MakeLowRank(256, p, 4, rng);
+    for (int64_t k : {1, 2, 4, 8, 16, 32}) {
+      t.AddRow({std::to_string(k), Table::Num(RelativeError(mat, k, rng), 4)});
+    }
+    std::printf("%s", t.ToAscii().c_str());
+  }
+  {
+    std::printf("--- error vs planted rank r (k=16, l=256) ---\n");
+    Table t({"r", "median rel. error"});
+    for (int64_t r : {1, 2, 4, 8, 16}) {
+      Tensor mat = MakeLowRank(256, p, r, rng);
+      t.AddRow({std::to_string(r), Table::Num(RelativeError(mat, 16, rng), 4)});
+    }
+    std::printf("%s", t.ToAscii().c_str());
+  }
+  {
+    std::printf("--- error vs token count l (k=16, r=4): the fixed prototype"
+                " budget serves longer inputs ---\n");
+    Table t({"l", "median rel. error"});
+    for (int64_t l : {64, 128, 256, 512, 1024}) {
+      Tensor mat = MakeLowRank(l, p, 4, rng);
+      t.AddRow({std::to_string(l), Table::Num(RelativeError(mat, 16, rng), 4)});
+    }
+    std::printf("%s", t.ToAscii().c_str());
+  }
+  return 0;
+}

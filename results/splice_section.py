@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Replaces one bench's section inside bench_output.txt with fresh output.
+
+Usage: splice_section.py <bench_output.txt> <bench_name> <new_output_file>
+
+Sections are delimited by '##### RUNNING: .../<bench_name>' markers. Used
+when a single bench binary was fixed after the full suite ran, so its
+section can be regenerated without re-paying the whole suite.
+"""
+import sys
+
+
+def main() -> int:
+    path, bench, new_path = sys.argv[1], sys.argv[2], sys.argv[3]
+    lines = open(path).read().split("\n")
+    marker = "##### RUNNING: "
+    start = end = None
+    for i, line in enumerate(lines):
+        if line.startswith(marker) and line.endswith("/" + bench):
+            start = i
+        elif start is not None and line.startswith(marker):
+            end = i
+            break
+    if start is None:
+        print(f"section {bench} not found", file=sys.stderr)
+        return 1
+    if end is None:
+        end = len(lines)
+    new_body = open(new_path).read().rstrip("\n").split("\n")
+    lines[start:end] = [lines[start]] + new_body + [""]
+    open(path, "w").write("\n".join(lines))
+    print(f"spliced {bench}: {end - start - 1} -> {len(new_body)} lines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

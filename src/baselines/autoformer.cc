@@ -1,0 +1,134 @@
+#include "baselines/autoformer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/common.h"
+#include "data/instance_norm.h"
+#include "tensor/fft.h"
+#include "tensor/ops.h"
+
+namespace focus {
+namespace baselines {
+
+AutoformerLite::AutoformerLite(const AutoformerConfig& config)
+    : config_(config) {
+  kernel_ = std::min<int64_t>(config.moving_avg, config.lookback - 1);
+  if (kernel_ % 2 == 0) --kernel_;
+  kernel_ = std::max<int64_t>(kernel_, 3);
+  Rng rng(config.seed);
+  value_embed_w_ = RegisterParameter(
+      "value_embed_w",
+      Tensor::RandUniform({config.d_model}, rng, -1.0f, 1.0f));
+  value_embed_b_ =
+      RegisterParameter("value_embed_b", Tensor::Zeros({config.d_model}));
+  wq_ = std::make_shared<nn::Linear>(config.d_model, config.d_model, rng);
+  wk_ = std::make_shared<nn::Linear>(config.d_model, config.d_model, rng);
+  wv_ = std::make_shared<nn::Linear>(config.d_model, config.d_model, rng);
+  norm_ = std::make_shared<nn::LayerNorm>(config.d_model);
+  seasonal_proj_ = std::make_shared<nn::Linear>(config.d_model, 1, rng);
+  seasonal_head_ =
+      std::make_shared<nn::Linear>(config.lookback, config.horizon, rng);
+  trend_head_ =
+      std::make_shared<nn::Linear>(config.lookback, config.horizon, rng);
+  RegisterModule("wq", wq_);
+  RegisterModule("wk", wk_);
+  RegisterModule("wv", wv_);
+  RegisterModule("norm", norm_);
+  RegisterModule("seasonal_proj", seasonal_proj_);
+  RegisterModule("seasonal_head", seasonal_head_);
+  RegisterModule("trend_head", trend_head_);
+}
+
+namespace {
+
+// Circular roll along dim 1 of (R, L, d) by `lag` steps (values move to
+// later positions) — Autoformer's time-delay aggregation primitive.
+Tensor Roll(const Tensor& v, int64_t lag, int64_t length) {
+  if (lag == 0) return v;
+  Tensor tail = Slice(v, 1, length - lag, length);
+  Tensor head = Slice(v, 1, 0, length - lag);
+  return Cat({tail, head}, 1);
+}
+
+}  // namespace
+
+Tensor AutoformerLite::Forward(const Tensor& x) {
+  FOCUS_CHECK_EQ(x.dim(), 3) << "Autoformer expects (B, N, L)";
+  FOCUS_CHECK_EQ(x.size(2), config_.lookback);
+  const int64_t b = x.size(0), n = x.size(1), l = x.size(2);
+  const int64_t d = config_.d_model;
+
+  data::InstanceNorm inorm;
+  Tensor xn = inorm.Normalize(x);
+  Tensor flat = Reshape(xn, {b * n, l});
+
+  // Series decomposition: trend via moving average, seasonal residual.
+  Tensor trend = MovingAverage(flat, kernel_);
+  Tensor seasonal = Sub(flat, trend);
+
+  // Per-step value embedding of the seasonal part: (R, L) -> (R, L, d).
+  Tensor steps = Reshape(seasonal, {b * n, l, 1});
+  Tensor emb = Add(Mul(BroadcastTo(steps, {b * n, l, d}), value_embed_w_),
+                   value_embed_b_);
+
+  Tensor q = wq_->Forward(emb);
+  Tensor k = wk_->Forward(emb);
+  Tensor v = wv_->Forward(emb);
+
+  // --- Auto-Correlation: top-k delays from the FFT autocorrelation of the
+  // (channel-mean, batch-mean) q/k series; non-differentiable selection,
+  // weights from the autocorrelation scores. ------------------------------
+  std::vector<float> mean_series(static_cast<size_t>(l), 0.0f);
+  {
+    NoGradGuard no_grad;
+    Tensor qk = Mean(Mul(q, k), -1, /*keepdim=*/false);  // (R, L)
+    const float* p = qk.data();
+    const int64_t rows = b * n;
+    for (int64_t i = 0; i < l; ++i) {
+      double acc = 0;
+      for (int64_t r = 0; r < rows; ++r) acc += p[r * l + i];
+      mean_series[static_cast<size_t>(i)] =
+          static_cast<float>(acc / rows);
+    }
+  }
+  std::vector<int64_t> lags =
+      fft::TopPeriods(mean_series.data(), l, config_.top_k_lags,
+                      /*min_period=*/1);
+  if (lags.empty()) lags.push_back(1);
+
+  // Differentiable aggregation weights: per-lag correlation scores
+  // s_tau = mean(Q * Roll(K, tau)) -> softmax. Gradients reach W_Q / W_K
+  // through the scores; only the top-k lag *selection* is discrete.
+  std::vector<Tensor> scores;
+  const float score_scale = std::sqrt(static_cast<float>(d));
+  for (int64_t lag : lags) {
+    scores.push_back(
+        MulScalar(MeanAll(Mul(q, Roll(k, lag, l))), score_scale));
+  }
+  Tensor weights = SoftmaxLastDim(Reshape(Cat(scores, 0), {1, static_cast<int64_t>(lags.size())}));
+
+  // Time-delay aggregation: sum_k w_k * Roll(V, lag_k).
+  Tensor aggregated;
+  for (size_t i = 0; i < lags.size(); ++i) {
+    Tensor w = Reshape(Slice(weights, 1, static_cast<int64_t>(i),
+                             static_cast<int64_t>(i) + 1),
+                       {1});
+    Tensor rolled = Mul(Roll(v, lags[i], l), w);
+    aggregated = aggregated.defined() ? Add(aggregated, rolled) : rolled;
+  }
+
+  // Residual + norm, then per-step projection back to a scalar series.
+  Tensor h = norm_->Forward(Add(emb, aggregated));
+  Tensor season_repr =
+      Reshape(seasonal_proj_->Forward(h), {b * n, l});  // (R, L)
+
+  // Dual heads: seasonal forecast + trend forecast (progressive decomp).
+  Tensor forecast = Add(seasonal_head_->Forward(season_repr),
+                        trend_head_->Forward(trend));
+  forecast = Reshape(forecast, {b, n, config_.horizon});
+  return inorm.Denormalize(forecast);
+}
+
+}  // namespace baselines
+}  // namespace focus

@@ -1,0 +1,51 @@
+// Autoformer-lite (Wu et al., NeurIPS 2021): progressive series
+// decomposition + the Auto-Correlation mechanism — dependencies are
+// discovered at the *period* level by picking the top-k time delays from
+// the FFT autocorrelation and aggregating time-rolled values, O(L log L).
+// Another efficiency-focused related-work system the paper contrasts with
+// (Sec. IX).
+//
+// Extra baseline: not part of the paper's Table III zoo.
+#ifndef FOCUS_BASELINES_AUTOFORMER_H_
+#define FOCUS_BASELINES_AUTOFORMER_H_
+
+#include <memory>
+
+#include "core/forecast_model.h"
+#include "nn/layers.h"
+
+namespace focus {
+namespace baselines {
+
+struct AutoformerConfig {
+  int64_t lookback = 512;
+  int64_t horizon = 96;
+  int64_t d_model = 16;    // per-step embedding width
+  int64_t top_k_lags = 3;  // delays aggregated by Auto-Correlation
+  int64_t moving_avg = 25; // decomposition kernel
+  uint64_t seed = 1;
+};
+
+class AutoformerLite : public ForecastModel {
+ public:
+  explicit AutoformerLite(const AutoformerConfig& config);
+
+  Tensor Forward(const Tensor& x) override;
+  std::string name() const override { return "Autoformer"; }
+  int64_t horizon() const override { return config_.horizon; }
+
+ private:
+  AutoformerConfig config_;
+  int64_t kernel_;
+  Tensor value_embed_w_, value_embed_b_;  // scalar step -> d channels
+  std::shared_ptr<nn::Linear> wq_, wk_, wv_;
+  std::shared_ptr<nn::LayerNorm> norm_;
+  std::shared_ptr<nn::Linear> seasonal_proj_;  // d -> 1 per step
+  std::shared_ptr<nn::Linear> seasonal_head_;  // L -> horizon
+  std::shared_ptr<nn::Linear> trend_head_;     // L -> horizon
+};
+
+}  // namespace baselines
+}  // namespace focus
+
+#endif  // FOCUS_BASELINES_AUTOFORMER_H_

@@ -1,0 +1,50 @@
+// Shared helpers for the baseline reimplementations.
+#ifndef FOCUS_BASELINES_COMMON_H_
+#define FOCUS_BASELINES_COMMON_H_
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace focus {
+namespace baselines {
+
+// Extracts (possibly overlapping) patches from rows: x (R, L) ->
+// (R, num_patches, patch_len) with the given stride.
+inline Tensor ExtractPatches(const Tensor& x, int64_t patch_len,
+                             int64_t stride) {
+  FOCUS_CHECK_EQ(x.dim(), 2);
+  const int64_t rows = x.size(0), len = x.size(1);
+  FOCUS_CHECK(patch_len <= len) << "patch longer than sequence";
+  const int64_t num_patches = (len - patch_len) / stride + 1;
+  std::vector<Tensor> slices;
+  slices.reserve(static_cast<size_t>(num_patches));
+  for (int64_t i = 0; i < num_patches; ++i) {
+    slices.push_back(
+        Slice(x, 1, i * stride, i * stride + patch_len)
+            .Reshape({rows, 1, patch_len}));
+  }
+  return Cat(slices, 1);
+}
+
+// Centered moving average with replicate padding along the last dim of a
+// (R, L) tensor; kernel must be odd. Used by DLinear's series decomposition.
+inline Tensor MovingAverage(const Tensor& x, int64_t kernel) {
+  FOCUS_CHECK_EQ(x.dim(), 2);
+  FOCUS_CHECK_EQ(kernel % 2, 1) << "moving-average kernel must be odd";
+  const int64_t rows = x.size(0), len = x.size(1);
+  const int64_t half = kernel / 2;
+  // Replicate-pad the edges.
+  Tensor front = BroadcastTo(Slice(x, 1, 0, 1), {rows, half});
+  Tensor back = BroadcastTo(Slice(x, 1, len - 1, len), {rows, half});
+  Tensor padded = Cat({front, x, back}, 1);  // (R, L + 2*half)
+  // Average via a fixed (non-trainable) convolution.
+  Tensor weight = Tensor::Full({1, 1, kernel}, 1.0f / kernel);
+  Tensor y = Conv1d(padded.Reshape({rows, 1, len + 2 * half}), weight,
+                    Tensor());
+  return y.Reshape({rows, len});
+}
+
+}  // namespace baselines
+}  // namespace focus
+
+#endif  // FOCUS_BASELINES_COMMON_H_

@@ -1,0 +1,77 @@
+#include "baselines/crossformer.h"
+
+#include <cmath>
+
+#include "data/instance_norm.h"
+#include "tensor/ops.h"
+
+namespace focus {
+namespace baselines {
+
+CrossformerLite::CrossformerLite(const CrossformerConfig& config)
+    : config_(config) {
+  FOCUS_CHECK_EQ(config.lookback % config.patch_len, 0)
+      << "patch_len must divide lookback";
+  num_patches_ = config.lookback / config.patch_len;
+  Rng rng(config.seed);
+  embed_ = std::make_shared<nn::Linear>(config.patch_len, config.d_model, rng);
+  RegisterModule("embed", embed_);
+  const float bound = 1.0f / std::sqrt(static_cast<float>(config.d_model));
+  positional_ = RegisterParameter(
+      "positional", Tensor::RandUniform({num_patches_, config.d_model}, rng,
+                                        -bound, bound));
+  time_attn_ = std::make_shared<nn::MultiheadSelfAttention>(
+      config.d_model, config.num_heads, rng);
+  dim_attn_ = std::make_shared<nn::MultiheadSelfAttention>(
+      config.d_model, config.num_heads, rng);
+  norm1_ = std::make_shared<nn::LayerNorm>(config.d_model);
+  norm2_ = std::make_shared<nn::LayerNorm>(config.d_model);
+  norm3_ = std::make_shared<nn::LayerNorm>(config.d_model);
+  ffn_ = std::make_shared<nn::FeedForward>(config.d_model, config.ffn_dim,
+                                           rng);
+  head_ = std::make_shared<nn::Linear>(num_patches_ * config.d_model,
+                                       config.horizon, rng);
+  RegisterModule("time_attn", time_attn_);
+  RegisterModule("dim_attn", dim_attn_);
+  RegisterModule("norm1", norm1_);
+  RegisterModule("norm2", norm2_);
+  RegisterModule("norm3", norm3_);
+  RegisterModule("ffn", ffn_);
+  RegisterModule("head", head_);
+}
+
+Tensor CrossformerLite::Forward(const Tensor& x) {
+  FOCUS_CHECK_EQ(x.dim(), 3) << "Crossformer expects (B, N, L)";
+  FOCUS_CHECK_EQ(x.size(2), config_.lookback);
+  const int64_t b = x.size(0), n = x.size(1);
+  const int64_t l = num_patches_, d = config_.d_model;
+
+  data::InstanceNorm inorm;
+  Tensor xn = inorm.Normalize(x);
+
+  // DSW embedding: per-entity non-overlapping segments.
+  Tensor tokens = embed_->Forward(
+      Reshape(xn, {b * n, l, config_.patch_len}));  // (b*n, l, d)
+  tokens = Add(tokens, positional_);
+
+  // Stage 1: attention across time within each entity.
+  Tensor h = norm1_->Forward(Add(tokens, time_attn_->Forward(tokens)));
+
+  // Stage 2: attention across entities at each temporal position.
+  Tensor he = Reshape(h, {b, n, l, d});
+  he = Permute(he, {0, 2, 1, 3});       // (b, l, n, d)
+  he = Reshape(he, {b * l, n, d});
+  he = norm2_->Forward(Add(he, dim_attn_->Forward(he)));
+  he = Reshape(he, {b, l, n, d});
+  he = Permute(he, {0, 2, 1, 3});       // (b, n, l, d)
+  he = Reshape(he, {b * n, l, d});
+
+  // Position-wise FFN + flatten head.
+  Tensor out = norm3_->Forward(Add(he, ffn_->Forward(he)));
+  Tensor forecast = head_->Forward(Reshape(out, {b * n, l * d}));
+  forecast = Reshape(forecast, {b, n, config_.horizon});
+  return inorm.Denormalize(forecast);
+}
+
+}  // namespace baselines
+}  // namespace focus

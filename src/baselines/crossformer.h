@@ -1,0 +1,51 @@
+// Crossformer-lite (Zhang & Yan, ICLR 2023): dimension-segment-wise (DSW)
+// patch embedding followed by Two-Stage Attention — stage 1 attends across
+// time within each entity, stage 2 attends across entities at each temporal
+// position — then a flatten head. Captures the cross-dimension dependency
+// mechanism that distinguishes Crossformer from channel-independent models.
+#ifndef FOCUS_BASELINES_CROSSFORMER_H_
+#define FOCUS_BASELINES_CROSSFORMER_H_
+
+#include <memory>
+
+#include "core/forecast_model.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+
+namespace focus {
+namespace baselines {
+
+struct CrossformerConfig {
+  int64_t lookback = 512;
+  int64_t horizon = 96;
+  int64_t patch_len = 16;  // non-overlapping DSW segments
+  int64_t d_model = 64;
+  int64_t num_heads = 4;
+  int64_t ffn_dim = 128;
+  uint64_t seed = 1;
+};
+
+class CrossformerLite : public ForecastModel {
+ public:
+  explicit CrossformerLite(const CrossformerConfig& config);
+
+  Tensor Forward(const Tensor& x) override;
+  std::string name() const override { return "Crossformer"; }
+  int64_t horizon() const override { return config_.horizon; }
+
+ private:
+  CrossformerConfig config_;
+  int64_t num_patches_;
+  std::shared_ptr<nn::Linear> embed_;
+  Tensor positional_;
+  std::shared_ptr<nn::MultiheadSelfAttention> time_attn_;
+  std::shared_ptr<nn::MultiheadSelfAttention> dim_attn_;
+  std::shared_ptr<nn::LayerNorm> norm1_, norm2_, norm3_;
+  std::shared_ptr<nn::FeedForward> ffn_;
+  std::shared_ptr<nn::Linear> head_;
+};
+
+}  // namespace baselines
+}  // namespace focus
+
+#endif  // FOCUS_BASELINES_CROSSFORMER_H_

@@ -1,0 +1,36 @@
+#include "baselines/dlinear.h"
+
+#include <algorithm>
+
+#include "baselines/common.h"
+
+namespace focus {
+namespace baselines {
+
+DLinear::DLinear(const DLinearConfig& config) : config_(config) {
+  kernel_ = std::min<int64_t>(config.moving_avg, config.lookback - 1);
+  if (kernel_ % 2 == 0) --kernel_;
+  kernel_ = std::max<int64_t>(kernel_, 3);
+  Rng rng(config.seed);
+  trend_head_ =
+      std::make_shared<nn::Linear>(config.lookback, config.horizon, rng);
+  seasonal_head_ =
+      std::make_shared<nn::Linear>(config.lookback, config.horizon, rng);
+  RegisterModule("trend_head", trend_head_);
+  RegisterModule("seasonal_head", seasonal_head_);
+}
+
+Tensor DLinear::Forward(const Tensor& x) {
+  FOCUS_CHECK_EQ(x.dim(), 3) << "DLinear expects (B, N, L)";
+  FOCUS_CHECK_EQ(x.size(2), config_.lookback);
+  const int64_t b = x.size(0), n = x.size(1);
+  Tensor flat = Reshape(x, {b * n, config_.lookback});
+  Tensor trend = MovingAverage(flat, kernel_);
+  Tensor seasonal = Sub(flat, trend);
+  Tensor forecast =
+      Add(trend_head_->Forward(trend), seasonal_head_->Forward(seasonal));
+  return Reshape(forecast, {b, n, config_.horizon});
+}
+
+}  // namespace baselines
+}  // namespace focus

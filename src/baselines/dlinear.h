@@ -1,0 +1,40 @@
+// DLinear (Zeng et al., AAAI 2023): series decomposition into trend
+// (moving average) and seasonal (residual) parts, each forecast by a single
+// linear map shared across channels.
+#ifndef FOCUS_BASELINES_DLINEAR_H_
+#define FOCUS_BASELINES_DLINEAR_H_
+
+#include <memory>
+
+#include "core/forecast_model.h"
+#include "nn/layers.h"
+
+namespace focus {
+namespace baselines {
+
+struct DLinearConfig {
+  int64_t lookback = 512;
+  int64_t horizon = 96;
+  int64_t moving_avg = 25;  // decomposition kernel (odd)
+  uint64_t seed = 1;
+};
+
+class DLinear : public ForecastModel {
+ public:
+  explicit DLinear(const DLinearConfig& config);
+
+  Tensor Forward(const Tensor& x) override;
+  std::string name() const override { return "DLinear"; }
+  int64_t horizon() const override { return config_.horizon; }
+
+ private:
+  DLinearConfig config_;
+  int64_t kernel_;
+  std::shared_ptr<nn::Linear> trend_head_;
+  std::shared_ptr<nn::Linear> seasonal_head_;
+};
+
+}  // namespace baselines
+}  // namespace focus
+
+#endif  // FOCUS_BASELINES_DLINEAR_H_

@@ -1,0 +1,108 @@
+// Graph-based baselines:
+//
+//  * MtgnnLite (Wu et al., KDD 2020): self-learned adaptive adjacency from
+//    node embeddings, gated dilated temporal convolutions, and mix-hop
+//    graph propagation.
+//  * GraphWaveNetLite (Wu et al., IJCAI 2019): adaptive adjacency with
+//    forward/backward supports, stacked gated dilated causal TCN blocks
+//    with skip connections, and a graph-convolution mixing stage.
+//
+// Both keep the defining mechanisms (learned graph + TCN receptive field)
+// at a width scaled to this repo's synthetic benchmarks.
+#ifndef FOCUS_BASELINES_GRAPH_MODELS_H_
+#define FOCUS_BASELINES_GRAPH_MODELS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/forecast_model.h"
+#include "nn/layers.h"
+
+namespace focus {
+namespace baselines {
+
+// Learned adjacency: softmax(relu(E1 E2^T)) over N nodes.
+class AdaptiveAdjacency : public nn::Module {
+ public:
+  AdaptiveAdjacency(int64_t num_nodes, int64_t embed_dim, Rng& rng);
+
+  // Returns the (N, N) row-stochastic adjacency (recomputed each call so
+  // gradients flow into the node embeddings).
+  Tensor Forward();
+
+ private:
+  Tensor e1_, e2_;
+};
+
+// One gated temporal-convolution block: tanh(conv) * sigmoid(conv), with a
+// 1x1 residual. Operates on (R, C, L) and preserves length via padding.
+class GatedTcnBlock : public nn::Module {
+ public:
+  GatedTcnBlock(int64_t channels, int64_t kernel, int64_t dilation, Rng& rng);
+
+  Tensor Forward(const Tensor& x);
+
+ private:
+  int64_t padding_;
+  int64_t dilation_;
+  Tensor filter_w_, filter_b_, gate_w_, gate_b_;
+};
+
+struct MtgnnConfig {
+  int64_t lookback = 512;
+  int64_t horizon = 96;
+  int64_t num_entities = 8;
+  int64_t channels = 16;
+  int64_t node_embed_dim = 8;
+  uint64_t seed = 1;
+};
+
+class MtgnnLite : public ForecastModel {
+ public:
+  explicit MtgnnLite(const MtgnnConfig& config);
+
+  Tensor Forward(const Tensor& x) override;
+  std::string name() const override { return "MTGNN"; }
+  int64_t horizon() const override { return config_.horizon; }
+
+ private:
+  MtgnnConfig config_;
+  std::shared_ptr<AdaptiveAdjacency> adjacency_;
+  Tensor input_w_, input_b_;  // 1x1 conv into channels
+  std::shared_ptr<GatedTcnBlock> tcn1_, tcn2_;
+  std::shared_ptr<nn::Linear> mixhop_;  // (3*C -> C) over [H, AH, A^2 H]
+  std::shared_ptr<nn::Linear> head_;
+};
+
+struct GraphWaveNetConfig {
+  int64_t lookback = 512;
+  int64_t horizon = 96;
+  int64_t num_entities = 8;
+  int64_t channels = 16;
+  int64_t skip_channels = 32;
+  int64_t node_embed_dim = 8;
+  uint64_t seed = 1;
+};
+
+class GraphWaveNetLite : public ForecastModel {
+ public:
+  explicit GraphWaveNetLite(const GraphWaveNetConfig& config);
+
+  Tensor Forward(const Tensor& x) override;
+  std::string name() const override { return "GraphWaveNet"; }
+  int64_t horizon() const override { return config_.horizon; }
+
+ private:
+  GraphWaveNetConfig config_;
+  std::shared_ptr<AdaptiveAdjacency> adjacency_;
+  Tensor input_w_, input_b_;
+  std::vector<std::shared_ptr<GatedTcnBlock>> blocks_;
+  std::vector<std::shared_ptr<nn::Linear>> skips_;  // per-block 1x1 to skip
+  std::shared_ptr<nn::Linear> graph_mix_;  // (2*C -> C) over [A H, A^T H]
+  std::shared_ptr<nn::Linear> head_;
+};
+
+}  // namespace baselines
+}  // namespace focus
+
+#endif  // FOCUS_BASELINES_GRAPH_MODELS_H_

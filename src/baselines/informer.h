@@ -1,0 +1,57 @@
+// Informer-lite (Zhou et al., AAAI 2021): the O(L log L) efficiency
+// baseline the paper contrasts against (Sec. I / IX). Implements the
+// ProbSparse self-attention mechanism: only the top-u "active" queries
+// (by the max-minus-mean sparsity measure, estimated on sampled keys)
+// attend fully; lazy queries output the mean of V. Channel-independent
+// patch tokens as in PatchTST.
+//
+// Extra baseline: not part of the paper's Table III zoo, provided for the
+// efficiency narrative (see examples/related_work_extras.cpp).
+#ifndef FOCUS_BASELINES_INFORMER_H_
+#define FOCUS_BASELINES_INFORMER_H_
+
+#include <memory>
+
+#include "core/forecast_model.h"
+#include "nn/layers.h"
+
+namespace focus {
+namespace baselines {
+
+struct InformerConfig {
+  int64_t lookback = 512;
+  int64_t horizon = 96;
+  int64_t patch_len = 16;
+  int64_t d_model = 64;
+  // u = ceil(factor * ln(l)) active queries; the paper's c hyperparameter.
+  double sparsity_factor = 2.0;
+  uint64_t seed = 1;
+};
+
+class InformerLite : public ForecastModel {
+ public:
+  explicit InformerLite(const InformerConfig& config);
+
+  Tensor Forward(const Tensor& x) override;
+  std::string name() const override { return "Informer"; }
+  int64_t horizon() const override { return config_.horizon; }
+
+  // Number of active (full-attention) queries for l tokens.
+  int64_t ActiveQueries(int64_t num_tokens) const;
+
+ private:
+  InformerConfig config_;
+  int64_t num_patches_;
+  std::shared_ptr<nn::Linear> embed_;
+  Tensor positional_;
+  std::shared_ptr<nn::Linear> wq_, wk_, wv_, wo_;
+  std::shared_ptr<nn::LayerNorm> norm1_, norm2_;
+  std::shared_ptr<nn::FeedForward> ffn_;
+  std::shared_ptr<nn::Linear> head_;
+  Rng sample_rng_;
+};
+
+}  // namespace baselines
+}  // namespace focus
+
+#endif  // FOCUS_BASELINES_INFORMER_H_

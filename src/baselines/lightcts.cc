@@ -1,0 +1,83 @@
+#include "baselines/lightcts.h"
+
+#include <cmath>
+
+#include "data/instance_norm.h"
+#include "tensor/ops.h"
+
+namespace focus {
+namespace baselines {
+
+LightCtsLite::LightCtsLite(const LightCtsConfig& config) : config_(config) {
+  FOCUS_CHECK_EQ(config.channels % 2, 0) << "channels must be even (groups=2)";
+  Rng rng(config.seed);
+  const int64_t c = config.channels;
+  input_w_ = RegisterParameter(
+      "input_w", Tensor::RandUniform({c}, rng, -1.0f, 1.0f));
+  input_b_ = RegisterParameter("input_b", Tensor::Zeros({c}));
+  // Grouped (groups=2) temporal convolutions: each kernel sees only half the
+  // channels — LightCTS's parameter-light TCN trick.
+  const int64_t half = c / 2;
+  const float bound = 1.0f / std::sqrt(static_cast<float>(half * 3));
+  tcn1_w_ = RegisterParameter(
+      "tcn1_w", Tensor::RandUniform({c, half, 3}, rng, -bound, bound));
+  tcn1_b_ = RegisterParameter("tcn1_b", Tensor::Zeros({c}));
+  tcn2_w_ = RegisterParameter(
+      "tcn2_w", Tensor::RandUniform({c, half, 3}, rng, -bound, bound));
+  tcn2_b_ = RegisterParameter("tcn2_b", Tensor::Zeros({c}));
+  entity_attn_ = std::make_shared<nn::MultiheadSelfAttention>(
+      c, config.num_heads, rng);
+  norm_ = std::make_shared<nn::LayerNorm>(c);
+  head_ = std::make_shared<nn::Linear>(c, config.horizon, rng);
+  RegisterModule("entity_attn", entity_attn_);
+  RegisterModule("norm", norm_);
+  RegisterModule("head", head_);
+}
+
+namespace {
+
+// Conv with groups=2: splits channels in half, convolves each group with its
+// half of the weights, concatenates. weight: (Cout, Cin/2, K).
+Tensor GroupedConv(const Tensor& x, const Tensor& w, const Tensor& b,
+                   int64_t padding) {
+  const int64_t cin = x.size(1);
+  const int64_t cout = w.size(0);
+  Tensor x1 = Slice(x, 1, 0, cin / 2);
+  Tensor x2 = Slice(x, 1, cin / 2, cin);
+  Tensor w1 = Slice(w, 0, 0, cout / 2);
+  Tensor w2 = Slice(w, 0, cout / 2, cout);
+  Tensor b1 = Slice(b, 0, 0, cout / 2);
+  Tensor b2 = Slice(b, 0, cout / 2, cout);
+  return Cat({Conv1d(x1, w1, b1, 1, padding), Conv1d(x2, w2, b2, 1, padding)},
+             1);
+}
+
+}  // namespace
+
+Tensor LightCtsLite::Forward(const Tensor& x) {
+  FOCUS_CHECK_EQ(x.dim(), 3) << "LightCTS expects (B, N, L)";
+  FOCUS_CHECK_EQ(x.size(2), config_.lookback);
+  const int64_t b = x.size(0), n = x.size(1), l = x.size(2);
+  const int64_t c = config_.channels;
+
+  data::InstanceNorm inorm;
+  Tensor xn = inorm.Normalize(x);
+
+  // L-TCN on each entity's series.
+  Tensor h = Reshape(xn, {b * n, 1, l});
+  h = Add(Mul(BroadcastTo(h, {b * n, c, l}), Reshape(input_w_, {c, 1})),
+          Reshape(input_b_, {c, 1}));
+  h = Gelu(GroupedConv(h, tcn1_w_, tcn1_b_, 1));
+  h = Gelu(GroupedConv(h, tcn2_w_, tcn2_b_, 1));
+
+  // Last-shot compression: keep only the final temporal state.
+  Tensor last = Slice(h, 2, l - 1, l).Reshape({b, n, c});
+
+  // Lightweight attention across entities, then the head.
+  Tensor mixed = norm_->Forward(Add(last, entity_attn_->Forward(last)));
+  Tensor forecast = head_->Forward(mixed);  // (b, n, horizon)
+  return inorm.Denormalize(forecast);
+}
+
+}  // namespace baselines
+}  // namespace focus

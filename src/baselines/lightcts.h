@@ -1,0 +1,46 @@
+// LightCTS-lite (Lai et al., SIGMOD 2023): lightweight correlated-time-
+// series forecaster built around (a) a light temporal convolution stack
+// (L-TCN), (b) "last-shot compression" — only the final temporal state is
+// passed on — and (c) a lightweight attention stage across entities
+// (GL-Former style) before the output head.
+#ifndef FOCUS_BASELINES_LIGHTCTS_H_
+#define FOCUS_BASELINES_LIGHTCTS_H_
+
+#include <memory>
+
+#include "core/forecast_model.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+
+namespace focus {
+namespace baselines {
+
+struct LightCtsConfig {
+  int64_t lookback = 512;
+  int64_t horizon = 96;
+  int64_t channels = 16;   // L-TCN width
+  int64_t num_heads = 2;
+  uint64_t seed = 1;
+};
+
+class LightCtsLite : public ForecastModel {
+ public:
+  explicit LightCtsLite(const LightCtsConfig& config);
+
+  Tensor Forward(const Tensor& x) override;
+  std::string name() const override { return "LightCTS"; }
+  int64_t horizon() const override { return config_.horizon; }
+
+ private:
+  LightCtsConfig config_;
+  Tensor input_w_, input_b_;
+  Tensor tcn1_w_, tcn1_b_, tcn2_w_, tcn2_b_;  // grouped temporal convs
+  std::shared_ptr<nn::MultiheadSelfAttention> entity_attn_;
+  std::shared_ptr<nn::LayerNorm> norm_;
+  std::shared_ptr<nn::Linear> head_;
+};
+
+}  // namespace baselines
+}  // namespace focus
+
+#endif  // FOCUS_BASELINES_LIGHTCTS_H_

@@ -1,0 +1,53 @@
+#include "baselines/patch_tst.h"
+
+#include <cmath>
+
+#include "baselines/common.h"
+#include "data/instance_norm.h"
+
+namespace focus {
+namespace baselines {
+
+PatchTst::PatchTst(const PatchTstConfig& config) : config_(config) {
+  FOCUS_CHECK_GE(config.lookback, config.patch_len);
+  num_patches_ = (config.lookback - config.patch_len) / config.stride + 1;
+  Rng rng(config.seed);
+  embed_ = std::make_shared<nn::Linear>(config.patch_len, config.d_model, rng);
+  RegisterModule("embed", embed_);
+  const float bound = 1.0f / std::sqrt(static_cast<float>(config.d_model));
+  positional_ = RegisterParameter(
+      "positional", Tensor::RandUniform({num_patches_, config.d_model}, rng,
+                                        -bound, bound));
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    auto layer = std::make_shared<nn::TransformerEncoderLayer>(
+        config.d_model, config.num_heads, config.ffn_dim, rng, config.dropout);
+    RegisterModule("encoder" + std::to_string(i), layer);
+    layers_.push_back(std::move(layer));
+  }
+  head_ = std::make_shared<nn::Linear>(num_patches_ * config.d_model,
+                                       config.horizon, rng);
+  RegisterModule("head", head_);
+}
+
+Tensor PatchTst::Forward(const Tensor& x) {
+  FOCUS_CHECK_EQ(x.dim(), 3) << "PatchTST expects (B, N, L)";
+  FOCUS_CHECK_EQ(x.size(2), config_.lookback);
+  const int64_t b = x.size(0), n = x.size(1);
+
+  data::InstanceNorm inorm;
+  Tensor xn = inorm.Normalize(x);
+
+  // Channel independence: each entity's window is a separate sequence.
+  Tensor flat = Reshape(xn, {b * n, config_.lookback});
+  Tensor patches = ExtractPatches(flat, config_.patch_len, config_.stride);
+  Tensor tokens = Add(embed_->Forward(patches), positional_);
+  for (auto& layer : layers_) tokens = layer->Forward(tokens);
+
+  Tensor forecast = head_->Forward(
+      Reshape(tokens, {b * n, num_patches_ * config_.d_model}));
+  forecast = Reshape(forecast, {b, n, config_.horizon});
+  return inorm.Denormalize(forecast);
+}
+
+}  // namespace baselines
+}  // namespace focus

@@ -1,0 +1,53 @@
+// PatchTST (Nie et al., ICLR 2023): channel-independent patching +
+// vanilla transformer encoder + flatten head, with RevIN-style instance
+// normalization. The O(l^2) all-pairs attention over patches is the
+// complexity baseline FOCUS's ProtoAttn replaces.
+#ifndef FOCUS_BASELINES_PATCH_TST_H_
+#define FOCUS_BASELINES_PATCH_TST_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/forecast_model.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+
+namespace focus {
+namespace baselines {
+
+struct PatchTstConfig {
+  int64_t lookback = 512;
+  int64_t horizon = 96;
+  int64_t patch_len = 16;
+  int64_t stride = 8;       // overlapping patches, as in the original
+  int64_t d_model = 64;
+  int64_t num_heads = 4;
+  int64_t num_layers = 2;
+  int64_t ffn_dim = 128;
+  float dropout = 0.0f;
+  uint64_t seed = 1;
+};
+
+class PatchTst : public ForecastModel {
+ public:
+  explicit PatchTst(const PatchTstConfig& config);
+
+  Tensor Forward(const Tensor& x) override;
+  std::string name() const override { return "PatchTST"; }
+  int64_t horizon() const override { return config_.horizon; }
+
+  int64_t num_patches() const { return num_patches_; }
+
+ private:
+  PatchTstConfig config_;
+  int64_t num_patches_;
+  std::shared_ptr<nn::Linear> embed_;
+  Tensor positional_;  // (num_patches, d_model), learned
+  std::vector<std::shared_ptr<nn::TransformerEncoderLayer>> layers_;
+  std::shared_ptr<nn::Linear> head_;
+};
+
+}  // namespace baselines
+}  // namespace focus
+
+#endif  // FOCUS_BASELINES_PATCH_TST_H_

@@ -1,0 +1,91 @@
+#include "baselines/timesnet.h"
+
+#include <cmath>
+
+#include "data/instance_norm.h"
+#include "tensor/ops.h"
+
+namespace focus {
+namespace baselines {
+
+TimesNetLite::TimesNetLite(const TimesNetConfig& config) : config_(config) {
+  Rng rng(config.seed);
+  const int64_t c = config.channels;
+  const float b1 = 1.0f / 3.0f;  // fan-in 1*3*3
+  conv1_w_ = RegisterParameter(
+      "conv1_w", Tensor::RandUniform({c, 1, 3, 3}, rng, -b1, b1));
+  conv1_b_ = RegisterParameter("conv1_b", Tensor::Zeros({c}));
+  const float b2 = 1.0f / std::sqrt(static_cast<float>(c * 9));
+  conv2_w_ = RegisterParameter(
+      "conv2_w", Tensor::RandUniform({1, c, 3, 3}, rng, -b2, b2));
+  conv2_b_ = RegisterParameter("conv2_b", Tensor::Zeros({1}));
+  head_ = std::make_shared<nn::Linear>(config.lookback, config.horizon, rng);
+  RegisterModule("head", head_);
+}
+
+int64_t TimesNetLite::DetectPeriod(const Tensor& flat) const {
+  const int64_t rows = flat.size(0), len = flat.size(1);
+  // Mean series across the batch.
+  std::vector<double> mean(static_cast<size_t>(len), 0.0);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = flat.data() + r * len;
+    for (int64_t i = 0; i < len; ++i) mean[static_cast<size_t>(i)] += row[i];
+  }
+  double mu = 0;
+  for (auto& v : mean) {
+    v /= rows;
+    mu += v;
+  }
+  mu /= len;
+  double denom = 0;
+  for (double v : mean) denom += (v - mu) * (v - mu);
+  if (denom < 1e-9) return config_.min_period;
+
+  int64_t best_lag = config_.min_period;
+  double best = -2.0;
+  for (int64_t lag = config_.min_period; lag <= len / 2; ++lag) {
+    double num = 0;
+    for (int64_t i = 0; i + lag < len; ++i) {
+      num += (mean[static_cast<size_t>(i)] - mu) *
+             (mean[static_cast<size_t>(i + lag)] - mu);
+    }
+    const double ac = num / denom;
+    if (ac > best) {
+      best = ac;
+      best_lag = lag;
+    }
+  }
+  return best_lag;
+}
+
+Tensor TimesNetLite::Forward(const Tensor& x) {
+  FOCUS_CHECK_EQ(x.dim(), 3) << "TimesNet expects (B, N, L)";
+  FOCUS_CHECK_EQ(x.size(2), config_.lookback);
+  const int64_t b = x.size(0), n = x.size(1), l = x.size(2);
+
+  data::InstanceNorm inorm;
+  Tensor xn = inorm.Normalize(x);
+  Tensor flat = Reshape(xn, {b * n, l});
+
+  // Fold into (cycles x period) and run the 2-D inception block.
+  const int64_t period = DetectPeriod(flat);
+  const int64_t cycles = (l + period - 1) / period;
+  const int64_t padded = cycles * period;
+  Tensor padded_flat = flat;
+  if (padded > l) {
+    padded_flat = Cat({flat, Tensor::Zeros({b * n, padded - l})}, 1);
+  }
+  Tensor grid = Reshape(padded_flat, {b * n, 1, cycles, period});
+  Tensor h = Gelu(Conv2d(grid, conv1_w_, conv1_b_, 1, 1));
+  h = Conv2d(h, conv2_w_, conv2_b_, 1, 1);  // back to one channel
+  Tensor unfolded = Slice(Reshape(h, {b * n, padded}), 1, 0, l);
+
+  // Residual + linear head.
+  Tensor features = Add(unfolded, flat);
+  Tensor forecast = head_->Forward(features);
+  forecast = Reshape(forecast, {b, n, config_.horizon});
+  return inorm.Denormalize(forecast);
+}
+
+}  // namespace baselines
+}  // namespace focus

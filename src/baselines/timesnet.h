@@ -1,0 +1,46 @@
+// TimesNet-lite (Wu et al., ICLR 2023): detects the dominant period of the
+// input, folds the 1-D series into a 2-D (cycles x period) tensor, applies
+// an inception-style 2-D convolution block, unfolds back and adds a
+// residual — the "Temporal 2D-Variation Modeling" mechanism.
+#ifndef FOCUS_BASELINES_TIMESNET_H_
+#define FOCUS_BASELINES_TIMESNET_H_
+
+#include <memory>
+
+#include "core/forecast_model.h"
+#include "nn/layers.h"
+
+namespace focus {
+namespace baselines {
+
+struct TimesNetConfig {
+  int64_t lookback = 512;
+  int64_t horizon = 96;
+  int64_t channels = 8;   // inception width
+  int64_t min_period = 4;
+  uint64_t seed = 1;
+};
+
+class TimesNetLite : public ForecastModel {
+ public:
+  explicit TimesNetLite(const TimesNetConfig& config);
+
+  Tensor Forward(const Tensor& x) override;
+  std::string name() const override { return "TimesNet"; }
+  int64_t horizon() const override { return config_.horizon; }
+
+  // Dominant period of a (R, L) batch via mean autocorrelation; exposed for
+  // testing. Returns a value in [min_period, L/2].
+  int64_t DetectPeriod(const Tensor& flat) const;
+
+ private:
+  TimesNetConfig config_;
+  Tensor conv1_w_, conv1_b_;  // (C, 1, 3, 3)
+  Tensor conv2_w_, conv2_b_;  // (1, C, 3, 3)
+  std::shared_ptr<nn::Linear> head_;
+};
+
+}  // namespace baselines
+}  // namespace focus
+
+#endif  // FOCUS_BASELINES_TIMESNET_H_

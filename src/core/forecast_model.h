@@ -1,0 +1,25 @@
+// Common interface implemented by FOCUS and every baseline: map a batch of
+// lookback windows (B, N, L) to horizon forecasts (B, N, Lf). Inputs are in
+// the dataset's z-scored space; models handle per-window instance
+// normalization internally.
+#ifndef FOCUS_CORE_FORECAST_MODEL_H_
+#define FOCUS_CORE_FORECAST_MODEL_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace focus {
+
+class ForecastModel : public nn::Module {
+ public:
+  // x: (B, N, L) -> (B, N, Lf).
+  virtual Tensor Forward(const Tensor& x) = 0;
+  virtual std::string name() const = 0;
+  virtual int64_t horizon() const = 0;
+};
+
+}  // namespace focus
+
+#endif  // FOCUS_CORE_FORECAST_MODEL_H_

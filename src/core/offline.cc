@@ -1,0 +1,22 @@
+#include "core/offline.h"
+
+namespace focus {
+namespace core {
+
+cluster::ClusteringResult RunOfflineClustering(const Tensor& train_values,
+                                               const OfflineConfig& config) {
+  Tensor segments = cluster::ExtractSegments(train_values, config.patch_len,
+                                             /*normalize=*/true);
+  cluster::ClusteringConfig cc;
+  cc.segment_length = config.patch_len;
+  cc.num_prototypes = config.num_prototypes;
+  cc.alpha = config.alpha;
+  cc.use_correlation = config.use_correlation;
+  cc.max_iters = config.max_iters;
+  cc.refine_steps = config.refine_steps;
+  cc.seed = config.seed;
+  return cluster::SegmentClustering(cc).Fit(segments);
+}
+
+}  // namespace core
+}  // namespace focus

@@ -1,0 +1,29 @@
+// Convenience driver for the offline phase: extract shape-space segments
+// from the (normalized) training region and fit prototypes (Algorithm 1).
+#ifndef FOCUS_CORE_OFFLINE_H_
+#define FOCUS_CORE_OFFLINE_H_
+
+#include "cluster/segment_clustering.h"
+#include "tensor/tensor.h"
+
+namespace focus {
+namespace core {
+
+struct OfflineConfig {
+  int64_t patch_len = 16;       // p
+  int64_t num_prototypes = 16;  // k
+  float alpha = 0.2f;
+  bool use_correlation = true;  // Fig. 8 ablation switch
+  int64_t max_iters = 25;
+  int64_t refine_steps = 10;
+  uint64_t seed = 1;
+};
+
+// `train_values` is the z-scored (N, T_train) training region.
+cluster::ClusteringResult RunOfflineClustering(const Tensor& train_values,
+                                               const OfflineConfig& config);
+
+}  // namespace core
+}  // namespace focus
+
+#endif  // FOCUS_CORE_OFFLINE_H_

@@ -1,0 +1,113 @@
+#include "core/proto_attn.h"
+
+#include <cmath>
+#include <limits>
+
+#include "cluster/segment_clustering.h"
+#include "tensor/flops.h"
+#include "tensor/ops.h"
+
+namespace focus {
+namespace core {
+
+ProtoAttn::ProtoAttn(Tensor prototypes, std::shared_ptr<nn::Linear> embed,
+                     int64_t d_model, float alpha, Rng& rng)
+    : prototypes_(std::move(prototypes)),
+      embed_(std::move(embed)),
+      d_model_(d_model),
+      alpha_(alpha) {
+  FOCUS_CHECK_EQ(prototypes_.dim(), 2) << "prototypes must be (k, p)";
+  FOCUS_CHECK_EQ(embed_->in_features(), prototypes_.size(1))
+      << "embedding input dim must equal segment length p";
+  FOCUS_CHECK_EQ(embed_->out_features(), d_model);
+  we_ = std::make_shared<nn::Linear>(d_model, d_model, rng);
+  wk_ = std::make_shared<nn::Linear>(d_model, d_model, rng);
+  wv_ = std::make_shared<nn::Linear>(d_model, d_model, rng);
+  wo_ = std::make_shared<nn::Linear>(d_model, d_model, rng);
+  RegisterModule("we", we_);
+  RegisterModule("wk", wk_);
+  RegisterModule("wv", wv_);
+  RegisterModule("wo", wo_);
+  // NOTE: `embed` is registered by the owning model, not here, to avoid
+  // double-counting shared parameters.
+}
+
+std::vector<int64_t> ProtoAttn::AssignTokens(const Tensor& tokens_raw) const {
+  FOCUS_CHECK_EQ(tokens_raw.dim(), 3);
+  const int64_t p = prototypes_.size(1);
+  FOCUS_CHECK_EQ(tokens_raw.size(2), p);
+  const int64_t rows = tokens_raw.size(0) * tokens_raw.size(1);
+  const int64_t k = prototypes_.size(0);
+  std::vector<int64_t> assignments(static_cast<size_t>(rows));
+  std::vector<float> shape(static_cast<size_t>(p));
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* seg = tokens_raw.data() + r * p;
+    // Match the offline clustering's shape space: z-normalize the token.
+    double mean = 0;
+    for (int64_t d = 0; d < p; ++d) mean += seg[d];
+    mean /= p;
+    double var = 0;
+    for (int64_t d = 0; d < p; ++d) var += (seg[d] - mean) * (seg[d] - mean);
+    const float inv_std =
+        1.0f / (static_cast<float>(std::sqrt(var / p)) + 1e-4f);
+    for (int64_t d = 0; d < p; ++d) {
+      shape[static_cast<size_t>(d)] =
+          (seg[d] - static_cast<float>(mean)) * inv_std;
+    }
+    float best = std::numeric_limits<float>::max();
+    int64_t best_j = 0;
+    for (int64_t j = 0; j < k; ++j) {
+      const float dist = cluster::CompositeDistance(
+          shape.data(), prototypes_.data() + j * p, p, alpha_);
+      if (dist < best) {
+        best = dist;
+        best_j = j;
+      }
+    }
+    assignments[static_cast<size_t>(r)] = best_j;
+  }
+  // Assignment cost (counted so the FLOPs metric reflects Algorithm 2's
+  // O(l * k * p) step).
+  FlopCounter::Add(3 * rows * k * p);
+  return assignments;
+}
+
+Tensor ProtoAttn::Forward(const Tensor& tokens_raw, const Tensor& tokens_emb) {
+  FOCUS_CHECK_EQ(tokens_emb.dim(), 3);
+  FOCUS_CHECK_EQ(tokens_emb.size(-1), d_model_);
+  const int64_t b = tokens_emb.size(0), l = tokens_emb.size(1);
+  FOCUS_CHECK_EQ(tokens_raw.size(0), b);
+  FOCUS_CHECK_EQ(tokens_raw.size(1), l);
+  const int64_t k = prototypes_.size(0);
+
+  // One-hot assignment matrix A (constant wrt autograd; Algorithm 2 l.1-4).
+  const std::vector<int64_t> assign = AssignTokens(tokens_raw);
+  Tensor a = Tensor::Zeros({b, l, k});
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t li = 0; li < l; ++li) {
+      a.data()[(bi * l + li) * k +
+               assign[static_cast<size_t>(bi * l + li)]] = 1.0f;
+    }
+  }
+  last_assignment_ = a;
+
+  // Projections (Eq. 14).
+  Tensor c_emb = embed_->Forward(prototypes_);  // (k, d)
+  Tensor c_q = we_->Forward(c_emb);             // (k, d)
+  Tensor key = wk_->Forward(tokens_emb);        // (b, l, d)
+  Tensor value = wv_->Forward(tokens_emb);      // (b, l, d)
+
+  // Attention of prototype queries over tokens (Eq. 16): (b, k, l).
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_model_));
+  Tensor scores = MulScalar(MatMul(c_q, Transpose(key, 1, 2)), scale);
+  Tensor attn = SoftmaxLastDim(scores);
+  last_attention_ = attn.Detach();
+
+  // Per-prototype context, then scatter back to tokens via A (Eq. 17-18).
+  Tensor context = MatMul(attn, value);  // (b, k, d)
+  Tensor out = MatMul(a, context);       // (b, l, d)
+  return wo_->Forward(out);
+}
+
+}  // namespace core
+}  // namespace focus

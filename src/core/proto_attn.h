@@ -1,0 +1,66 @@
+// ProtoAttn — Prototypes Attentive Modeling (paper Sec. VI, Algorithm 2).
+//
+// Instead of all-pairs self-attention over l tokens (O(l^2 d)), queries are
+// the k offline prototypes (Eq. 14-15); each token is hard-assigned to its
+// nearest prototype under the Eq. 6 composite distance, and tokens sharing
+// an assignment receive identical attention rows (Eq. 19):
+//
+//   A      in {0,1}^(l x k)     one-hot assignments (constant wrt autograd)
+//   C_Q  = (C W_emb) W_E        embedded prototype queries      (k x d)
+//   K, V = Z W_K, Z W_V         token projections               (l x d)
+//   out  = A softmax(C_Q K^T / sqrt(d)) V                       (Eq. 18)
+//
+// Total cost is O(l k d) — linear in the number of tokens.
+#ifndef FOCUS_CORE_PROTO_ATTN_H_
+#define FOCUS_CORE_PROTO_ATTN_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace focus {
+namespace core {
+
+class ProtoAttn : public nn::Module {
+ public:
+  // `prototypes` is the (k, p) shape-space prototype set from the offline
+  // clustering phase; it is a fixed buffer, not a trained parameter.
+  // `embed` is the shared segment-embedding Linear(p -> d), owned by the
+  // enclosing model so both branches and the prototypes use one embedding.
+  ProtoAttn(Tensor prototypes, std::shared_ptr<nn::Linear> embed,
+            int64_t d_model, float alpha, Rng& rng);
+
+  // tokens_raw: (B', l, p) raw (window-normalized) segments, used only for
+  // the non-differentiable nearest-prototype assignment.
+  // tokens_emb: (B', l, d) embedded segments (shared embedding output).
+  // Returns (B', l, d).
+  Tensor Forward(const Tensor& tokens_raw, const Tensor& tokens_emb);
+
+  // Case-study introspection (paper Fig. 13): the last forward's one-hot
+  // assignment matrix (B', l, k) and attention matrix (B', k, l), detached.
+  const Tensor& last_assignment() const { return last_assignment_; }
+  const Tensor& last_attention() const { return last_attention_; }
+
+  // Hard assignment indices for a (B', l, p) raw-token tensor.
+  std::vector<int64_t> AssignTokens(const Tensor& tokens_raw) const;
+
+  int64_t num_prototypes() const { return prototypes_.size(0); }
+
+ private:
+  Tensor prototypes_;  // (k, p), constant
+  std::shared_ptr<nn::Linear> embed_;
+  int64_t d_model_;
+  float alpha_;
+  std::shared_ptr<nn::Linear> we_, wk_, wv_, wo_;
+  Tensor last_assignment_;
+  Tensor last_attention_;
+};
+
+}  // namespace core
+}  // namespace focus
+
+#endif  // FOCUS_CORE_PROTO_ATTN_H_

@@ -1,0 +1,80 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace focus {
+namespace data {
+
+SplitRanges ComputeSplits(const TimeSeriesDataset& dataset) {
+  const int64_t total = dataset.num_steps();
+  SplitRanges splits;
+  splits.total = total;
+  splits.train_end =
+      static_cast<int64_t>(std::floor(total * dataset.train_fraction));
+  splits.val_end = static_cast<int64_t>(
+      std::floor(total * (dataset.train_fraction + dataset.val_fraction)));
+  FOCUS_CHECK(0 < splits.train_end && splits.train_end < splits.val_end &&
+              splits.val_end < total)
+      << "degenerate split for dataset " << dataset.name;
+  return splits;
+}
+
+Normalizer Normalizer::Fit(const Tensor& values, int64_t fit_end) {
+  FOCUS_CHECK_EQ(values.dim(), 2) << "Normalizer expects (N, T)";
+  const int64_t n = values.size(0), t = values.size(1);
+  FOCUS_CHECK(fit_end > 1 && fit_end <= t) << "bad fit_end " << fit_end;
+  Normalizer norm;
+  norm.means_.resize(static_cast<size_t>(n));
+  norm.stds_.resize(static_cast<size_t>(n));
+  for (int64_t e = 0; e < n; ++e) {
+    const float* row = values.data() + e * t;
+    double mean = 0;
+    for (int64_t i = 0; i < fit_end; ++i) mean += row[i];
+    mean /= fit_end;
+    double var = 0;
+    for (int64_t i = 0; i < fit_end; ++i) {
+      var += (row[i] - mean) * (row[i] - mean);
+    }
+    var /= fit_end;
+    norm.means_[static_cast<size_t>(e)] = static_cast<float>(mean);
+    norm.stds_[static_cast<size_t>(e)] =
+        static_cast<float>(std::sqrt(var) + 1e-8);
+  }
+  return norm;
+}
+
+Tensor Normalizer::Normalize(const Tensor& values) const {
+  FOCUS_CHECK_EQ(values.dim(), 2);
+  const int64_t n = values.size(0), t = values.size(1);
+  FOCUS_CHECK_EQ(n, static_cast<int64_t>(means_.size()))
+      << "entity count mismatch";
+  Tensor out = Tensor::Empty({n, t});
+  for (int64_t e = 0; e < n; ++e) {
+    const float mean = means_[static_cast<size_t>(e)];
+    const float inv_std = 1.0f / stds_[static_cast<size_t>(e)];
+    const float* src = values.data() + e * t;
+    float* dst = out.data() + e * t;
+    for (int64_t i = 0; i < t; ++i) dst[i] = (src[i] - mean) * inv_std;
+  }
+  return out;
+}
+
+Tensor Normalizer::Denormalize(const Tensor& values) const {
+  FOCUS_CHECK_EQ(values.dim(), 2);
+  const int64_t n = values.size(0), t = values.size(1);
+  FOCUS_CHECK_EQ(n, static_cast<int64_t>(means_.size()));
+  Tensor out = Tensor::Empty({n, t});
+  for (int64_t e = 0; e < n; ++e) {
+    const float mean = means_[static_cast<size_t>(e)];
+    const float std = stds_[static_cast<size_t>(e)];
+    const float* src = values.data() + e * t;
+    float* dst = out.data() + e * t;
+    for (int64_t i = 0; i < t; ++i) dst[i] = src[i] * std + mean;
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace focus

@@ -1,0 +1,63 @@
+// Multivariate time-series dataset container, chronological splits, and
+// z-score normalization fitted on the training split (paper Sec. VIII-A:
+// "normalized using statistical information derived from the training set").
+#ifndef FOCUS_DATA_DATASET_H_
+#define FOCUS_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace focus {
+namespace data {
+
+// An MTS dataset: `values` is (N entities, T steps), Definition 2 of the
+// paper with rows as entities.
+struct TimeSeriesDataset {
+  std::string name;
+  std::string domain;     // Table II "Domain" column
+  std::string frequency;  // Table II "Frequency" column
+  Tensor values;          // (N, T)
+  // Fractions of T for the chronological train / validation split
+  // (7/1/2 for Weather, Electricity, Traffic; 6/2/2 for ETT and PEMS).
+  double train_fraction = 0.7;
+  double val_fraction = 0.1;
+
+  int64_t num_entities() const { return values.size(0); }
+  int64_t num_steps() const { return values.size(1); }
+};
+
+// Chronological boundaries: train = [0, train_end), val = [train_end,
+// val_end), test = [val_end, T).
+struct SplitRanges {
+  int64_t train_end = 0;
+  int64_t val_end = 0;
+  int64_t total = 0;
+};
+
+SplitRanges ComputeSplits(const TimeSeriesDataset& dataset);
+
+// Per-entity z-score normalizer fitted on [0, fit_end).
+class Normalizer {
+ public:
+  // `values` is (N, T).
+  static Normalizer Fit(const Tensor& values, int64_t fit_end);
+
+  // Applies (x - mean_e) / std_e row-wise; input (N, any length).
+  Tensor Normalize(const Tensor& values) const;
+  // Inverse transform.
+  Tensor Denormalize(const Tensor& values) const;
+
+  const std::vector<float>& means() const { return means_; }
+  const std::vector<float>& stds() const { return stds_; }
+
+ private:
+  std::vector<float> means_;
+  std::vector<float> stds_;
+};
+
+}  // namespace data
+}  // namespace focus
+
+#endif  // FOCUS_DATA_DATASET_H_

@@ -1,0 +1,110 @@
+#include "data/impute.h"
+
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace focus {
+namespace data {
+
+GapReport ScanGaps(const Tensor& values) {
+  FOCUS_CHECK_EQ(values.dim(), 2);
+  const int64_t n = values.size(0), t = values.size(1);
+  GapReport report;
+  for (int64_t e = 0; e < n; ++e) {
+    const float* row = values.data() + e * t;
+    int64_t run = 0;
+    bool any = false;
+    for (int64_t i = 0; i < t; ++i) {
+      if (std::isnan(row[i])) {
+        ++report.missing_values;
+        ++run;
+        report.longest_gap = std::max(report.longest_gap, run);
+        any = true;
+      } else {
+        run = 0;
+      }
+    }
+    report.affected_entities += any;
+  }
+  return report;
+}
+
+int64_t ForwardFillImpute(Tensor* values) {
+  FOCUS_CHECK(values != nullptr);
+  FOCUS_CHECK_EQ(values->dim(), 2);
+  const int64_t n = values->size(0), t = values->size(1);
+  int64_t imputed = 0;
+  for (int64_t e = 0; e < n; ++e) {
+    float* row = values->data() + e * t;
+    // First finite value for the back-fill of leading NaNs.
+    float first_finite = 0.0f;
+    bool found = false;
+    for (int64_t i = 0; i < t; ++i) {
+      if (!std::isnan(row[i])) {
+        first_finite = row[i];
+        found = true;
+        break;
+      }
+    }
+    float last = found ? first_finite : 0.0f;
+    for (int64_t i = 0; i < t; ++i) {
+      if (std::isnan(row[i])) {
+        row[i] = last;
+        ++imputed;
+      } else {
+        last = row[i];
+      }
+    }
+  }
+  return imputed;
+}
+
+int64_t LinearInterpolateImpute(Tensor* values) {
+  FOCUS_CHECK(values != nullptr);
+  FOCUS_CHECK_EQ(values->dim(), 2);
+  const int64_t n = values->size(0), t = values->size(1);
+  int64_t imputed = 0;
+  for (int64_t e = 0; e < n; ++e) {
+    float* row = values->data() + e * t;
+    int64_t i = 0;
+    while (i < t) {
+      if (!std::isnan(row[i])) {
+        ++i;
+        continue;
+      }
+      // NaN run [i, j).
+      int64_t j = i;
+      while (j < t && std::isnan(row[j])) ++j;
+      const bool has_left = i > 0;
+      const bool has_right = j < t;
+      if (has_left && has_right) {
+        const float left = row[i - 1];
+        const float right = row[j];
+        const float span = static_cast<float>(j - (i - 1));
+        for (int64_t k = i; k < j; ++k) {
+          const float alpha = static_cast<float>(k - (i - 1)) / span;
+          row[k] = left + alpha * (right - left);
+          ++imputed;
+        }
+      } else if (has_left || has_right) {
+        const float fill = has_left ? row[i - 1] : row[j];
+        for (int64_t k = i; k < j; ++k) {
+          row[k] = fill;
+          ++imputed;
+        }
+      } else {
+        // Entire row is NaN.
+        for (int64_t k = i; k < j; ++k) {
+          row[k] = 0.0f;
+          ++imputed;
+        }
+      }
+      i = j;
+    }
+  }
+  return imputed;
+}
+
+}  // namespace data
+}  // namespace focus

@@ -1,0 +1,36 @@
+// Missing-value handling for real-world MTS ingestion: sensors drop
+// readings (marked NaN); models need complete windows. Two standard
+// imputers plus a gap report.
+#ifndef FOCUS_DATA_IMPUTE_H_
+#define FOCUS_DATA_IMPUTE_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace focus {
+namespace data {
+
+struct GapReport {
+  int64_t missing_values = 0;   // total NaN cells
+  int64_t longest_gap = 0;      // longest consecutive NaN run in any row
+  int64_t affected_entities = 0;
+};
+
+// Scans an (N, T) matrix for NaNs.
+GapReport ScanGaps(const Tensor& values);
+
+// Replaces NaNs with the previous finite value in the row; leading NaNs
+// take the first finite value (back-fill). Rows that are entirely NaN are
+// zero-filled. Returns the number of imputed cells. Mutates in place.
+int64_t ForwardFillImpute(Tensor* values);
+
+// Replaces interior NaN runs with linear interpolation between the
+// surrounding finite values; edge runs fall back to nearest-value fill.
+// Returns the number of imputed cells. Mutates in place.
+int64_t LinearInterpolateImpute(Tensor* values);
+
+}  // namespace data
+}  // namespace focus
+
+#endif  // FOCUS_DATA_IMPUTE_H_

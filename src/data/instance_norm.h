@@ -1,0 +1,44 @@
+// RevIN-style instance normalization: normalizes each (batch, entity)
+// lookback window to zero mean / unit variance and re-applies the statistics
+// to the model's output. Standard for long-horizon forecasters (PatchTST,
+// DLinear variants) and used by every model in this repo to handle the
+// non-stationarity the paper discusses in Sec. VIII-D.
+#ifndef FOCUS_DATA_INSTANCE_NORM_H_
+#define FOCUS_DATA_INSTANCE_NORM_H_
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace focus {
+namespace data {
+
+class InstanceNorm {
+ public:
+  // x: (B, N, L). Returns the normalized window and stores (B, N, 1)
+  // statistics for Denormalize.
+  Tensor Normalize(const Tensor& x) {
+    mean_ = Mean(x, -1, /*keepdim=*/true);
+    Tensor centered = Sub(x, mean_);
+    Tensor var = Mean(Mul(centered, centered), -1, /*keepdim=*/true);
+    std_ = Sqrt(AddScalar(var, 1e-5f));
+    return Div(centered, std_);
+  }
+
+  // yhat: (B, N, Lf) in normalized space -> original scale.
+  Tensor Denormalize(const Tensor& yhat) const {
+    FOCUS_CHECK(mean_.defined()) << "Denormalize before Normalize";
+    return Add(Mul(yhat, std_), mean_);
+  }
+
+  const Tensor& mean() const { return mean_; }
+  const Tensor& std() const { return std_; }
+
+ private:
+  Tensor mean_;
+  Tensor std_;
+};
+
+}  // namespace data
+}  // namespace focus
+
+#endif  // FOCUS_DATA_INSTANCE_NORM_H_

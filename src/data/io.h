@@ -1,0 +1,26 @@
+// CSV import/export for TimeSeriesDataset: the interchange format for the
+// focus_cli tool and for users bringing their own data.
+//
+// Layout: one column per entity, one row per time step, with a header row
+// of entity names. A leading comment line carries dataset metadata:
+//   # focus-dataset name=<...> domain=<...> frequency=<...> train=<f> val=<f>
+// Plain CSVs without that line load with default metadata.
+#ifndef FOCUS_DATA_IO_H_
+#define FOCUS_DATA_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "utils/status.h"
+
+namespace focus {
+namespace data {
+
+Status SaveCsv(const TimeSeriesDataset& dataset, const std::string& path);
+
+StatusOr<TimeSeriesDataset> LoadCsv(const std::string& path);
+
+}  // namespace data
+}  // namespace focus
+
+#endif  // FOCUS_DATA_IO_H_

@@ -1,0 +1,73 @@
+#include "data/perturb.h"
+
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace focus {
+namespace data {
+
+int64_t InjectOutliers(TimeSeriesDataset* dataset, double ratio,
+                       int64_t range_end, Rng& rng) {
+  FOCUS_CHECK(dataset != nullptr);
+  FOCUS_CHECK(ratio >= 0.0 && ratio < 1.0) << "outlier ratio out of range";
+  Tensor& values = dataset->values;
+  const int64_t n = values.size(0), t = values.size(1);
+  FOCUS_CHECK(range_end > 0 && range_end <= t);
+
+  int64_t replaced = 0;
+  for (int64_t e = 0; e < n; ++e) {
+    float* row = values.data() + e * t;
+    // Entity statistics over the affected range.
+    double mean = 0;
+    for (int64_t i = 0; i < range_end; ++i) mean += row[i];
+    mean /= range_end;
+    double var = 0;
+    for (int64_t i = 0; i < range_end; ++i) {
+      var += (row[i] - mean) * (row[i] - mean);
+    }
+    const double std = std::sqrt(var / range_end) + 1e-8;
+
+    for (int64_t i = 0; i < range_end; ++i) {
+      if (rng.Uniform() >= ratio) continue;
+      // Sample from a distribution supported beyond 3 sigma (paper Fig. 10a).
+      const double magnitude = 3.0 + std::fabs(rng.Gaussian());
+      const double sign = rng.Uniform() < 0.5 ? -1.0 : 1.0;
+      row[i] = static_cast<float>(mean + sign * magnitude * std);
+      ++replaced;
+    }
+  }
+  return replaced;
+}
+
+void InjectTestShift(TimeSeriesDataset* dataset, int64_t range_begin,
+                     int64_t segment, float magnitude, Rng& rng) {
+  FOCUS_CHECK(dataset != nullptr);
+  FOCUS_CHECK_GT(segment, 1);
+  Tensor& values = dataset->values;
+  const int64_t n = values.size(0), t = values.size(1);
+  FOCUS_CHECK(range_begin >= 0 && range_begin < t);
+
+  for (int64_t e = 0; e < n; ++e) {
+    float* row = values.data() + e * t;
+    double mean = 0;
+    for (int64_t i = 0; i < t; ++i) mean += row[i];
+    mean /= t;
+    double var = 0;
+    for (int64_t i = 0; i < t; ++i) var += (row[i] - mean) * (row[i] - mean);
+    const float std = static_cast<float>(std::sqrt(var / t) + 1e-8);
+
+    for (int64_t start = range_begin; start + segment <= t;
+         start += segment) {
+      // Random ramp across the segment: steeper intra-segment trend.
+      const float slope = static_cast<float>(rng.Gaussian()) * magnitude *
+                          std / static_cast<float>(segment);
+      for (int64_t i = 0; i < segment; ++i) {
+        row[start + i] += slope * static_cast<float>(i);
+      }
+    }
+  }
+}
+
+}  // namespace data
+}  // namespace focus

@@ -1,0 +1,31 @@
+// Controlled dataset perturbations for the robustness studies:
+//  * InjectOutliers — Fig. 10: replaces a fraction of training points with
+//    values sampled beyond 3x the series' standard deviation.
+//  * InjectTestShift — Fig. 9: makes test-set segments steeper / larger so
+//    they contain patterns unseen during training.
+#ifndef FOCUS_DATA_PERTURB_H_
+#define FOCUS_DATA_PERTURB_H_
+
+#include "data/dataset.h"
+#include "utils/rng.h"
+
+namespace focus {
+namespace data {
+
+// Replaces `ratio` of the points in columns [0, range_end) with outliers
+// drawn from beyond 3 sigma of each entity's distribution (sign random).
+// Returns the number of points replaced. Mutates `dataset->values`.
+int64_t InjectOutliers(TimeSeriesDataset* dataset, double ratio,
+                       int64_t range_end, Rng& rng);
+
+// Amplifies intra-segment trends in columns [range_begin, T): each length-
+// `segment` block gets an added ramp of random slope scaled by `magnitude`
+// times the entity std, producing the "steeper intra-segment trends" of the
+// paper's Fig. 9 analysis. Mutates `dataset->values`.
+void InjectTestShift(TimeSeriesDataset* dataset, int64_t range_begin,
+                     int64_t segment, float magnitude, Rng& rng);
+
+}  // namespace data
+}  // namespace focus
+
+#endif  // FOCUS_DATA_PERTURB_H_

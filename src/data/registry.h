@@ -1,0 +1,45 @@
+// Registry of the paper's seven benchmark datasets as generator configs
+// (Table II), scaled by profile so the full experiment sweep runs on one
+// CPU core. The "full" profile (FOCUS_PROFILE=full) raises sizes toward the
+// paper's shapes.
+#ifndef FOCUS_DATA_REGISTRY_H_
+#define FOCUS_DATA_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+
+namespace focus {
+namespace data {
+
+enum class Profile {
+  kQuick,  // default; minutes for the whole Table III sweep
+  kFull,   // larger N / T / epochs; paper-scale structure
+};
+
+// Reads FOCUS_PROFILE ("quick" | "full"), defaulting to quick.
+Profile ProfileFromEnv();
+
+// Names in paper order: PEMS04, PEMS08, ETTh1, ETTm1, Traffic, Electricity,
+// Weather.
+std::vector<std::string> PaperDatasetNames();
+
+// CHECK-fails on unknown name. `seed` offsets the config seed so repeated
+// experiments can draw fresh instances.
+GeneratorConfig PaperDatasetConfig(const std::string& name, Profile profile,
+                                   uint64_t seed = 0);
+
+// Paper-reported statistics for Table II's "Lengths"/"Dim" columns, used by
+// the bench to print paper-vs-ours.
+struct PaperDatasetStats {
+  int64_t paper_length;
+  int64_t paper_dim;
+  std::string split;  // "6:2:2" or "7:1:2"
+};
+PaperDatasetStats PaperStats(const std::string& name);
+
+}  // namespace data
+}  // namespace focus
+
+#endif  // FOCUS_DATA_REGISTRY_H_

@@ -1,0 +1,68 @@
+#include "data/window.h"
+
+#include <cstring>
+#include <numeric>
+
+#include "utils/check.h"
+
+namespace focus {
+namespace data {
+
+WindowDataset::WindowDataset(Tensor values, int64_t lookback, int64_t horizon,
+                             int64_t range_begin, int64_t range_end)
+    : values_(std::move(values)),
+      lookback_(lookback),
+      horizon_(horizon),
+      range_begin_(range_begin) {
+  FOCUS_CHECK_EQ(values_.dim(), 2) << "WindowDataset expects (N, T)";
+  FOCUS_CHECK_GT(lookback, 0);
+  FOCUS_CHECK_GT(horizon, 0);
+  FOCUS_CHECK(0 <= range_begin && range_begin < range_end &&
+              range_end <= values_.size(1))
+      << "bad window range [" << range_begin << ", " << range_end << ")";
+  num_windows_ = range_end - range_begin - lookback - horizon + 1;
+  FOCUS_CHECK_GT(num_windows_, 0)
+      << "range too short for lookback " << lookback << " + horizon "
+      << horizon;
+}
+
+Batch WindowDataset::GetBatch(const std::vector<int64_t>& window_indices) const {
+  const int64_t b = static_cast<int64_t>(window_indices.size());
+  FOCUS_CHECK_GT(b, 0);
+  const int64_t n = values_.size(0), t = values_.size(1);
+  Batch batch;
+  batch.x = Tensor::Empty({b, n, lookback_});
+  batch.y = Tensor::Empty({b, n, horizon_});
+  const float* src = values_.data();
+  for (int64_t bi = 0; bi < b; ++bi) {
+    const int64_t w = window_indices[static_cast<size_t>(bi)];
+    FOCUS_CHECK(w >= 0 && w < num_windows_) << "window index out of range";
+    const int64_t start = range_begin_ + w;
+    for (int64_t e = 0; e < n; ++e) {
+      std::memcpy(batch.x.data() + (bi * n + e) * lookback_,
+                  src + e * t + start,
+                  static_cast<size_t>(lookback_) * sizeof(float));
+      std::memcpy(batch.y.data() + (bi * n + e) * horizon_,
+                  src + e * t + start + lookback_,
+                  static_cast<size_t>(horizon_) * sizeof(float));
+    }
+  }
+  return batch;
+}
+
+std::vector<std::vector<int64_t>> MakeBatches(int64_t num_items,
+                                              int64_t batch_size, Rng* rng) {
+  FOCUS_CHECK_GT(batch_size, 0);
+  std::vector<int64_t> indices(static_cast<size_t>(num_items));
+  std::iota(indices.begin(), indices.end(), 0);
+  if (rng != nullptr) rng->Shuffle(indices);
+  std::vector<std::vector<int64_t>> batches;
+  for (int64_t start = 0; start < num_items; start += batch_size) {
+    const int64_t end = std::min(start + batch_size, num_items);
+    batches.emplace_back(indices.begin() + start, indices.begin() + end);
+  }
+  return batches;
+}
+
+}  // namespace data
+}  // namespace focus

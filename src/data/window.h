@@ -1,0 +1,51 @@
+// Sliding-window view over a normalized (N, T) series for forecasting:
+// each window is (lookback, horizon) pair; batches are (B, N, L) / (B, N, Lf).
+#ifndef FOCUS_DATA_WINDOW_H_
+#define FOCUS_DATA_WINDOW_H_
+
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace focus {
+namespace data {
+
+struct Batch {
+  Tensor x;  // (B, N, L)
+  Tensor y;  // (B, N, Lf)
+};
+
+class WindowDataset {
+ public:
+  // Windows start at s in [range_begin, range_end - lookback - horizon];
+  // x = values[:, s : s+L), y = values[:, s+L : s+L+Lf).
+  WindowDataset(Tensor values, int64_t lookback, int64_t horizon,
+                int64_t range_begin, int64_t range_end);
+
+  int64_t NumWindows() const { return num_windows_; }
+  int64_t lookback() const { return lookback_; }
+  int64_t horizon() const { return horizon_; }
+
+  Batch GetBatch(const std::vector<int64_t>& window_indices) const;
+
+  // Convenience: a single window as a batch of 1.
+  Batch GetWindow(int64_t index) const { return GetBatch({index}); }
+
+ private:
+  Tensor values_;  // (N, T)
+  int64_t lookback_;
+  int64_t horizon_;
+  int64_t range_begin_;
+  int64_t num_windows_;
+};
+
+// Yields index batches, optionally shuffled; drops no remainder.
+std::vector<std::vector<int64_t>> MakeBatches(int64_t num_items,
+                                              int64_t batch_size, Rng* rng);
+
+}  // namespace data
+}  // namespace focus
+
+#endif  // FOCUS_DATA_WINDOW_H_

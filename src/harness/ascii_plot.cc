@@ -1,0 +1,98 @@
+#include "harness/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "utils/check.h"
+
+namespace focus {
+namespace harness {
+
+std::string AsciiChart(const std::vector<std::vector<double>>& series,
+                       const std::vector<std::string>& labels, int width,
+                       int height) {
+  FOCUS_CHECK(!series.empty());
+  FOCUS_CHECK_EQ(series.size(), labels.size());
+  static const char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@'};
+
+  double lo = std::numeric_limits<double>::max();
+  double hi = std::numeric_limits<double>::lowest();
+  for (const auto& s : series) {
+    for (double v : s) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+
+  std::vector<std::string> grid(static_cast<size_t>(height),
+                                std::string(static_cast<size_t>(width), ' '));
+  for (size_t si = 0; si < series.size(); ++si) {
+    const auto& s = series[si];
+    if (s.empty()) continue;
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    for (int c = 0; c < width; ++c) {
+      // Resample: nearest source index for this column.
+      const size_t idx = static_cast<size_t>(
+          std::min<double>(s.size() - 1.0,
+                           std::round(static_cast<double>(c) * (s.size() - 1) /
+                                      std::max(1, width - 1))));
+      const double v = s[idx];
+      const int row = static_cast<int>(
+          std::round((hi - v) / (hi - lo) * (height - 1)));
+      grid[static_cast<size_t>(std::clamp(row, 0, height - 1))]
+          [static_cast<size_t>(c)] = glyph;
+    }
+  }
+
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%10.3f ", hi);
+  out += std::string(buf) + "+" + std::string(static_cast<size_t>(width), '-') +
+         "\n";
+  for (int r = 0; r < height; ++r) {
+    out += std::string(11, ' ') + "|" + grid[static_cast<size_t>(r)] + "\n";
+  }
+  std::snprintf(buf, sizeof(buf), "%10.3f ", lo);
+  out += std::string(buf) + "+" + std::string(static_cast<size_t>(width), '-') +
+         "\n";
+  out += "   legend: ";
+  for (size_t si = 0; si < labels.size(); ++si) {
+    out += std::string(1, kGlyphs[si % sizeof(kGlyphs)]) + "=" + labels[si];
+    if (si + 1 < labels.size()) out += "  ";
+  }
+  out += "\n";
+  return out;
+}
+
+std::string AsciiHeatmap(const std::vector<double>& values, int rows,
+                         int cols) {
+  FOCUS_CHECK_EQ(static_cast<int>(values.size()), rows * cols);
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = sizeof(kRamp) - 2;
+
+  double lo = std::numeric_limits<double>::max();
+  double hi = std::numeric_limits<double>::lowest();
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+
+  std::string out;
+  for (int r = 0; r < rows; ++r) {
+    out += "  ";
+    for (int c = 0; c < cols; ++c) {
+      const double v = values[static_cast<size_t>(r * cols + c)];
+      const int level = static_cast<int>(
+          std::round((v - lo) / (hi - lo) * kLevels));
+      out += kRamp[std::clamp(level, 0, kLevels)];
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace harness
+}  // namespace focus

@@ -1,0 +1,26 @@
+// Terminal plotting for the case-study benches (Figs. 11-13): line charts
+// and heat maps rendered as ASCII.
+#ifndef FOCUS_HARNESS_ASCII_PLOT_H_
+#define FOCUS_HARNESS_ASCII_PLOT_H_
+
+#include <string>
+#include <vector>
+
+namespace focus {
+namespace harness {
+
+// Renders one or more series as an ASCII line chart. Each series gets its
+// own glyph ('*', '+', 'o', ...); series are resampled to `width` columns
+// and share one y-axis. Labels are printed in a legend line.
+std::string AsciiChart(const std::vector<std::vector<double>>& series,
+                       const std::vector<std::string>& labels,
+                       int width = 100, int height = 16);
+
+// Renders a row-major matrix as an ASCII heat map using a density ramp.
+std::string AsciiHeatmap(const std::vector<double>& values, int rows,
+                         int cols);
+
+}  // namespace harness
+}  // namespace focus
+
+#endif  // FOCUS_HARNESS_ASCII_PLOT_H_

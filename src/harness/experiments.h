@@ -1,0 +1,114 @@
+// Experiment plumbing shared by the bench binaries: profile-scaled
+// hyperparameters, dataset preparation (generate -> split -> normalize),
+// the eight-model zoo of Table III, and train+evaluate drivers.
+#ifndef FOCUS_HARNESS_EXPERIMENTS_H_
+#define FOCUS_HARNESS_EXPERIMENTS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/focus_model.h"
+#include "core/forecast_model.h"
+#include "data/dataset.h"
+#include "data/registry.h"
+#include "data/window.h"
+#include "harness/trainer.h"
+#include "metrics/metrics.h"
+
+namespace focus {
+namespace harness {
+
+// Scaled experiment hyperparameters. The quick profile keeps the entire
+// suite runnable on one CPU core; full approaches the paper's sizes
+// (FOCUS_PROFILE=full).
+struct ExperimentProfile {
+  data::Profile profile = data::Profile::kQuick;
+  int64_t lookback = 192;        // paper: 512
+  int64_t train_steps = 300;     // upper bound; early stopping cuts it
+  int64_t batch_size = 6;
+  int64_t eval_batch = 8;
+  int64_t eval_stride = 4;       // evaluate every 4th test window
+  int64_t d_model = 32;          // paper: 64 / 128
+  int64_t conv_channels = 8;
+  int64_t patch_len = 16;        // p
+  int64_t num_prototypes = 16;   // k
+  float lr = 1e-2f;
+  float alpha = 0.2f;            // Eq. 6 weight (paper Sec. VIII-A)
+};
+
+// Builds the profile from FOCUS_PROFILE and optional step override
+// FOCUS_TRAIN_STEPS.
+ExperimentProfile MakeProfile();
+ExperimentProfile MakeProfile(data::Profile profile);
+
+// Paper rule: m = 6 readout queries for horizon 96, 21 for horizon 336;
+// generalized as ceil(horizon / 16).
+int64_t ReadoutQueriesFor(int64_t horizon);
+
+// Per-dataset FOCUS segment length (the paper obtains p and k by grid
+// search, Sec. VIII-A). Aligned with each dataset's daily period; must
+// divide the profile lookback. Returns profile.patch_len for unknown names.
+int64_t FocusPatchLenFor(const std::string& dataset,
+                         const ExperimentProfile& profile);
+
+// Per-dataset FOCUS prototype count (grid-searched, Sec. VIII-A).
+int64_t FocusPrototypesFor(const std::string& dataset,
+                           const ExperimentProfile& profile);
+
+// A generated dataset with its chronological splits and z-scored values
+// (statistics fitted on the train region only).
+struct PreparedData {
+  data::TimeSeriesDataset dataset;
+  data::SplitRanges splits;
+  data::Normalizer normalizer;
+  Tensor normalized;  // (N, T)
+};
+
+PreparedData PrepareDataset(const std::string& name,
+                            const ExperimentProfile& profile,
+                            uint64_t seed = 0);
+// For perturbed / custom datasets (Figs. 9-10).
+PreparedData PrepareDataset(data::TimeSeriesDataset dataset);
+
+// Window views. Test/val windows start far enough back that every predicted
+// step lies inside the respective region.
+data::WindowDataset TrainWindows(const PreparedData& data, int64_t lookback,
+                                 int64_t horizon);
+data::WindowDataset ValWindows(const PreparedData& data, int64_t lookback,
+                               int64_t horizon);
+data::WindowDataset TestWindows(const PreparedData& data, int64_t lookback,
+                                int64_t horizon);
+
+// Table III model zoo, paper order.
+std::vector<std::string> ModelZooNames();
+
+// Builds a model by zoo name; "FOCUS" runs the offline clustering phase on
+// the prepared train region first. CHECK-fails on unknown names.
+std::unique_ptr<ForecastModel> BuildModel(const std::string& name,
+                                          const PreparedData& data,
+                                          int64_t lookback, int64_t horizon,
+                                          const ExperimentProfile& profile,
+                                          uint64_t seed = 1);
+
+// Offline clustering on the prepared train region (shared by FOCUS builds
+// and the Fig. 7 / Fig. 8 studies).
+Tensor FitPrototypes(const PreparedData& data, int64_t patch_len,
+                     int64_t num_prototypes, float alpha, bool use_correlation,
+                     uint64_t seed);
+
+struct RunOutcome {
+  TrainResult train;
+  metrics::ForecastMetrics test;
+};
+
+// Full pipeline for one (model, dataset, horizon) cell of Table III.
+RunOutcome TrainAndEvaluate(ForecastModel& model, const PreparedData& data,
+                            int64_t lookback, int64_t horizon,
+                            const ExperimentProfile& profile,
+                            uint64_t seed = 1);
+
+}  // namespace harness
+}  // namespace focus
+
+#endif  // FOCUS_HARNESS_EXPERIMENTS_H_

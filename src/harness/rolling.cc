@@ -1,0 +1,51 @@
+#include "harness/rolling.h"
+
+#include "data/window.h"
+#include "utils/check.h"
+
+namespace focus {
+namespace harness {
+
+RollingResult RollingOriginEvaluate(
+    const Tensor& values, const RollingConfig& config,
+    const std::function<std::unique_ptr<ForecastModel>()>& make_model) {
+  FOCUS_CHECK_EQ(values.dim(), 2) << "expects (N, T)";
+  FOCUS_CHECK_GE(config.num_folds, 1);
+  const int64_t total = values.size(1);
+  const int64_t eval_span = config.num_folds * config.fold_span;
+  const int64_t first_origin = total - eval_span;
+  FOCUS_CHECK_GT(first_origin, config.lookback + config.horizon)
+      << "series too short for the requested folds";
+
+  RollingResult result;
+  for (int64_t fold = 0; fold < config.num_folds; ++fold) {
+    const int64_t origin = first_origin + fold * config.fold_span;
+
+    // Train on everything before the fold's origin.
+    data::WindowDataset train(values, config.lookback, config.horizon, 0,
+                              origin);
+    auto model = make_model();
+    FOCUS_CHECK(model != nullptr);
+    TrainModel(*model, train, config.train);
+
+    // Evaluate on windows whose forecasts fall inside the fold block.
+    data::WindowDataset eval(values, config.lookback, config.horizon,
+                             origin - config.lookback,
+                             std::min(origin + config.fold_span, total));
+    RollingFold fold_result;
+    fold_result.origin = origin;
+    fold_result.metrics = EvaluateModel(*model, eval, 8, /*stride=*/2);
+    // Merge into the aggregate (streaming, pre-Finalize counts).
+    result.aggregate.mse += fold_result.metrics.mse * fold_result.metrics.count;
+    result.aggregate.mae += fold_result.metrics.mae * fold_result.metrics.count;
+    result.aggregate.count += fold_result.metrics.count;
+    result.folds.push_back(std::move(fold_result));
+  }
+  result.aggregate.mse /= result.aggregate.count;
+  result.aggregate.mae /= result.aggregate.count;
+  result.aggregate.rmse = std::sqrt(result.aggregate.mse);
+  return result;
+}
+
+}  // namespace harness
+}  // namespace focus

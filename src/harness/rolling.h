@@ -1,0 +1,49 @@
+// Rolling-origin evaluation: the standard forecasting-evaluation protocol
+// where the model is re-fit (or fine-tuned) as the forecast origin advances
+// through the evaluation period. Reports per-fold and aggregate metrics —
+// a stricter test of robustness to distribution drift than a single
+// train/test split.
+#ifndef FOCUS_HARNESS_ROLLING_H_
+#define FOCUS_HARNESS_ROLLING_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/forecast_model.h"
+#include "data/dataset.h"
+#include "harness/trainer.h"
+#include "metrics/metrics.h"
+
+namespace focus {
+namespace harness {
+
+struct RollingConfig {
+  int64_t lookback = 96;
+  int64_t horizon = 24;
+  int64_t num_folds = 3;
+  // Each fold's evaluation block length; the training region is everything
+  // before it. Fold f evaluates [origin_f, origin_f + fold_span).
+  int64_t fold_span = 200;
+  TrainConfig train;
+};
+
+struct RollingFold {
+  int64_t origin = 0;
+  metrics::ForecastMetrics metrics;
+};
+
+struct RollingResult {
+  std::vector<RollingFold> folds;
+  metrics::ForecastMetrics aggregate;
+};
+
+// `make_model` builds a fresh model per fold (re-initialization keeps folds
+// independent). `values` is the full (N, T) z-scored series.
+RollingResult RollingOriginEvaluate(
+    const Tensor& values, const RollingConfig& config,
+    const std::function<std::unique_ptr<ForecastModel>()>& make_model);
+
+}  // namespace harness
+}  // namespace focus
+
+#endif  // FOCUS_HARNESS_ROLLING_H_

@@ -1,0 +1,103 @@
+#include "harness/trainer.h"
+
+#include <limits>
+
+#include "nn/serialize.h"
+#include "optim/optimizer.h"
+#include "optim/scheduler.h"
+#include "tensor/ops.h"
+#include "utils/logging.h"
+#include "utils/stopwatch.h"
+
+namespace focus {
+namespace harness {
+
+TrainResult TrainModel(ForecastModel& model, const data::WindowDataset& train,
+                       const TrainConfig& config) {
+  Stopwatch timer;
+  Rng rng(config.seed);
+  optim::AdamW opt(model.Parameters(), config.lr, config.weight_decay);
+  optim::CosineDecayLr schedule(config.lr, std::max<int64_t>(config.max_steps, 1),
+                                config.lr * 0.1f);
+  model.SetTraining(true);
+
+  TrainResult result;
+  result.best_val_mse = std::numeric_limits<double>::max();
+  std::vector<std::vector<float>> best_snapshot;
+  int64_t evals_without_improvement = 0;
+
+  int64_t step = 0;
+  bool stop = false;
+  while (step < config.max_steps && !stop) {
+    auto batches = data::MakeBatches(train.NumWindows(), config.batch_size,
+                                     &rng);
+    for (const auto& indices : batches) {
+      if (step >= config.max_steps) break;
+      if (config.cosine_schedule) schedule.Apply(opt, step);
+      data::Batch batch = train.GetBatch(indices);
+      opt.ZeroGrad();
+      Tensor loss = MseLoss(model.Forward(batch.x), batch.y);
+      const float loss_val = loss.Item();
+      if (step == 0) result.first_loss = loss_val;
+      result.final_loss = loss_val;
+      loss.Backward();
+      optim::ClipGradNorm(opt.params(), config.clip_norm);
+      opt.Step();
+      ++step;
+      if (config.verbose && step % 10 == 0) {
+        FOCUS_LOG(Info) << model.name() << " step " << step << " loss "
+                        << loss_val;
+      }
+
+      // Validation-driven early stopping.
+      if (config.val != nullptr && step % config.eval_every == 0) {
+        auto val_metrics = EvaluateModel(model, *config.val,
+                                         config.batch_size, /*stride=*/4);
+        if (val_metrics.mse < result.best_val_mse) {
+          result.best_val_mse = val_metrics.mse;
+          best_snapshot = nn::SnapshotParameters(model);
+          evals_without_improvement = 0;
+        } else if (++evals_without_improvement >= config.patience) {
+          result.early_stopped = true;
+          stop = true;
+          break;
+        }
+      }
+    }
+  }
+  if (config.val != nullptr && !best_snapshot.empty()) {
+    nn::RestoreParameters(model, best_snapshot);
+  }
+  result.steps = step;
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+metrics::ForecastMetrics EvaluateModel(ForecastModel& model,
+                                       const data::WindowDataset& windows,
+                                       int64_t batch_size, int64_t stride) {
+  FOCUS_CHECK_GT(stride, 0);
+  const bool was_training = model.training();
+  model.SetTraining(false);
+  NoGradGuard no_grad;
+  metrics::ForecastMetrics metrics;
+  std::vector<int64_t> indices;
+  for (int64_t w = 0; w < windows.NumWindows(); w += stride) {
+    indices.push_back(w);
+    if (static_cast<int64_t>(indices.size()) == batch_size) {
+      data::Batch batch = windows.GetBatch(indices);
+      metrics.Accumulate(model.Forward(batch.x), batch.y);
+      indices.clear();
+    }
+  }
+  if (!indices.empty()) {
+    data::Batch batch = windows.GetBatch(indices);
+    metrics.Accumulate(model.Forward(batch.x), batch.y);
+  }
+  metrics.Finalize();
+  model.SetTraining(was_training);
+  return metrics;
+}
+
+}  // namespace harness
+}  // namespace focus

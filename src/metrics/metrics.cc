@@ -1,0 +1,64 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+
+#include "tensor/flops.h"
+#include "tensor/memory.h"
+#include "utils/check.h"
+#include "utils/stopwatch.h"
+
+namespace focus {
+namespace metrics {
+
+void ForecastMetrics::Accumulate(const Tensor& pred, const Tensor& truth) {
+  FOCUS_CHECK(pred.shape() == truth.shape())
+      << "metrics shape mismatch: " << ShapeToString(pred.shape()) << " vs "
+      << ShapeToString(truth.shape());
+  const float* pp = pred.data();
+  const float* pt = truth.data();
+  const int64_t n = pred.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(pp[i]) - pt[i];
+    mse += d * d;
+    mae += std::fabs(d);
+  }
+  count += n;
+}
+
+void ForecastMetrics::Finalize() {
+  FOCUS_CHECK_GT(count, 0) << "no predictions accumulated";
+  mse /= count;
+  mae /= count;
+  rmse = std::sqrt(mse);
+}
+
+ForecastMetrics ComputeMetrics(const Tensor& pred, const Tensor& truth) {
+  ForecastMetrics m;
+  m.Accumulate(pred, truth);
+  m.Finalize();
+  return m;
+}
+
+EfficiencyReport ProbeEfficiency(ForecastModel& model, const Tensor& sample) {
+  EfficiencyReport report;
+  report.parameters = model.NumParameters();
+
+  const bool was_training = model.training();
+  model.SetTraining(false);
+  {
+    NoGradGuard no_grad;
+    MemoryStats::ResetPeak();
+    FlopCounter::Reset();
+    Stopwatch timer;
+    Tensor out = model.Forward(sample);
+    report.latency_ms = timer.ElapsedMillis();
+    report.flops = FlopCounter::Count();
+    report.peak_bytes = MemoryStats::PeakBytes() - MemoryStats::CurrentBytes() +
+                        static_cast<int64_t>(sizeof(float)) * out.numel();
+  }
+  model.SetTraining(was_training);
+  return report;
+}
+
+}  // namespace metrics
+}  // namespace focus

@@ -1,0 +1,42 @@
+// Forecast accuracy metrics (paper Sec. VIII-A: MSE / MAE) and efficiency
+// probes (FLOPs / peak memory / parameter count, Fig. 6 and Table IV).
+#ifndef FOCUS_METRICS_METRICS_H_
+#define FOCUS_METRICS_METRICS_H_
+
+#include <cstdint>
+
+#include "core/forecast_model.h"
+#include "tensor/tensor.h"
+
+namespace focus {
+namespace metrics {
+
+struct ForecastMetrics {
+  double mse = 0.0;
+  double mae = 0.0;
+  double rmse = 0.0;
+  int64_t count = 0;  // number of scalar predictions aggregated
+
+  // Streaming aggregation across evaluation batches.
+  void Accumulate(const Tensor& pred, const Tensor& truth);
+  void Finalize();
+};
+
+// One-shot convenience.
+ForecastMetrics ComputeMetrics(const Tensor& pred, const Tensor& truth);
+
+struct EfficiencyReport {
+  int64_t flops = 0;        // scalar FLOPs for one forward pass
+  int64_t peak_bytes = 0;   // peak live tensor bytes during that pass
+  int64_t parameters = 0;   // model parameter count
+  double latency_ms = 0.0;  // wall-clock of the probed pass
+};
+
+// Runs one inference-mode forward pass on `sample` under instrumentation.
+// Restores the model's training mode afterwards.
+EfficiencyReport ProbeEfficiency(ForecastModel& model, const Tensor& sample);
+
+}  // namespace metrics
+}  // namespace focus
+
+#endif  // FOCUS_METRICS_METRICS_H_

@@ -1,0 +1,99 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace focus {
+namespace nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  FOCUS_CHECK_GT(in_features, 0);
+  FOCUS_CHECK_GT(out_features, 0);
+  // Kaiming-uniform fan-in init, matching the PyTorch default for Linear.
+  const float bound = 1.0f / std::sqrt(static_cast<float>(in_features));
+  weight_ = RegisterParameter(
+      "weight",
+      Tensor::RandUniform({in_features, out_features}, rng, -bound, bound));
+  if (bias) {
+    bias_ = RegisterParameter(
+        "bias", Tensor::RandUniform({out_features}, rng, -bound, bound));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) {
+  FOCUS_CHECK_EQ(x.size(-1), in_features_)
+      << "Linear expected last dim " << in_features_ << ", got "
+      << ShapeToString(x.shape());
+  Tensor out;
+  if (x.dim() <= 3) {
+    out = MatMul(x, weight_);
+  } else {
+    // Flatten leading dims for matmul, then restore.
+    Shape orig = x.shape();
+    Tensor flat = Reshape(x, {-1, in_features_});
+    out = MatMul(flat, weight_);
+    Shape out_shape = orig;
+    out_shape.back() = out_features_;
+    out = Reshape(out, out_shape);
+  }
+  if (bias_.defined()) out = Add(out, bias_);
+  return out;
+}
+
+LayerNorm::LayerNorm(int64_t normalized_dim, float eps) : eps_(eps) {
+  FOCUS_CHECK_GT(normalized_dim, 0);
+  gamma_ = RegisterParameter("gamma", Tensor::Ones({normalized_dim}));
+  beta_ = RegisterParameter("beta", Tensor::Zeros({normalized_dim}));
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) {
+  return LayerNormLastDim(x, gamma_, beta_, eps_);
+}
+
+Dropout::Dropout(float p, Rng& rng) : p_(p), rng_(rng.Fork()) {
+  FOCUS_CHECK(p >= 0.0f && p < 1.0f) << "dropout p must be in [0, 1)";
+}
+
+Tensor Dropout::Forward(const Tensor& x) {
+  if (!training() || p_ == 0.0f) return x;
+  // Inverted dropout mask; the mask is a constant wrt autograd.
+  Tensor mask = Tensor::Empty(x.shape());
+  const float scale = 1.0f / (1.0f - p_);
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    mask.data()[i] = rng_.Uniform() < p_ ? 0.0f : scale;
+  }
+  return Mul(x, mask);
+}
+
+Sequential& Sequential::Append(std::shared_ptr<UnaryModule> layer) {
+  RegisterModule("layer" + std::to_string(layers_.size()), layer);
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::Forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->Forward(h);
+  return h;
+}
+
+FeedForward::FeedForward(int64_t dim, int64_t hidden_dim, Rng& rng,
+                         float dropout) {
+  fc1_ = std::make_shared<Linear>(dim, hidden_dim, rng);
+  fc2_ = std::make_shared<Linear>(hidden_dim, dim, rng);
+  RegisterModule("fc1", fc1_);
+  RegisterModule("fc2", fc2_);
+  if (dropout > 0.0f) {
+    dropout_ = std::make_shared<Dropout>(dropout, rng);
+    RegisterModule("dropout", dropout_);
+  }
+}
+
+Tensor FeedForward::Forward(const Tensor& x) {
+  Tensor h = Gelu(fc1_->Forward(x));
+  if (dropout_) h = dropout_->Forward(h);
+  return fc2_->Forward(h);
+}
+
+}  // namespace nn
+}  // namespace focus

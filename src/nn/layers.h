@@ -1,0 +1,115 @@
+// Core NN layers: Linear, LayerNorm, Dropout, activations, FeedForward,
+// Sequential. All layers accept inputs whose last dimension is the feature
+// dimension; leading dimensions are treated as batch.
+#ifndef FOCUS_NN_LAYERS_H_
+#define FOCUS_NN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "utils/rng.h"
+
+namespace focus {
+namespace nn {
+
+// y = x @ W + b, W: (in, out), b: (out). Kaiming-uniform init.
+class Linear : public UnaryModule {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  Tensor Forward(const Tensor& x) override;
+
+  const Tensor& weight() const { return weight_; }
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Tensor weight_;
+  Tensor bias_;  // undefined when bias == false
+};
+
+// LayerNorm over the last dimension with learnable affine parameters.
+class LayerNorm : public UnaryModule {
+ public:
+  explicit LayerNorm(int64_t normalized_dim, float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  float eps_;
+  Tensor gamma_;
+  Tensor beta_;
+};
+
+// Inverted dropout: active only in training mode.
+class Dropout : public UnaryModule {
+ public:
+  Dropout(float p, Rng& rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  float p_;
+  Rng rng_;
+};
+
+// Stateless activation wrappers for use in Sequential.
+class ReluLayer : public UnaryModule {
+ public:
+  Tensor Forward(const Tensor& x) override { return Relu(x); }
+};
+
+class GeluLayer : public UnaryModule {
+ public:
+  Tensor Forward(const Tensor& x) override { return Gelu(x); }
+};
+
+class TanhLayer : public UnaryModule {
+ public:
+  Tensor Forward(const Tensor& x) override { return Tanh(x); }
+};
+
+class SigmoidLayer : public UnaryModule {
+ public:
+  Tensor Forward(const Tensor& x) override { return Sigmoid(x); }
+};
+
+// Applies registered layers in order.
+class Sequential : public UnaryModule {
+ public:
+  Sequential() = default;
+
+  // Returns *this for chaining.
+  Sequential& Append(std::shared_ptr<UnaryModule> layer);
+
+  Tensor Forward(const Tensor& x) override;
+
+  size_t size() const { return layers_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<UnaryModule>> layers_;
+};
+
+// Position-wise feed-forward: Linear -> GELU -> Linear (+ optional dropout).
+class FeedForward : public UnaryModule {
+ public:
+  FeedForward(int64_t dim, int64_t hidden_dim, Rng& rng, float dropout = 0.0f);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  std::shared_ptr<Linear> fc1_;
+  std::shared_ptr<Linear> fc2_;
+  std::shared_ptr<Dropout> dropout_;  // null when dropout == 0
+};
+
+}  // namespace nn
+}  // namespace focus
+
+#endif  // FOCUS_NN_LAYERS_H_

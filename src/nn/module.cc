@@ -1,0 +1,61 @@
+#include "nn/module.h"
+
+#include "utils/check.h"
+
+namespace focus {
+namespace nn {
+
+Tensor& Module::RegisterParameter(const std::string& name, Tensor value) {
+  FOCUS_CHECK(value.defined()) << "registering undefined parameter " << name;
+  value.SetRequiresGrad(true);
+  params_.emplace_back(name, std::move(value));
+  return params_.back().second;
+}
+
+void Module::RegisterModule(const std::string& name,
+                            std::shared_ptr<Module> module) {
+  FOCUS_CHECK(module != nullptr) << "registering null module " << name;
+  children_.emplace_back(name, std::move(module));
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Tensor>>* out) const {
+  for (const auto& [name, tensor] : params_) {
+    out->emplace_back(prefix.empty() ? name : prefix + "." + name, tensor);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamed(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out;
+  for (auto& [name, tensor] : NamedParameters()) out.push_back(tensor);
+  return out;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const Tensor& p : Parameters()) n += p.numel();
+  return n;
+}
+
+void Module::ZeroGrad() {
+  for (Tensor p : Parameters()) p.ZeroGrad();
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  OnSetTraining(training);
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+}  // namespace nn
+}  // namespace focus

@@ -1,0 +1,63 @@
+// Module base class: parameter registry, recursive traversal, train/eval
+// mode, and simple binary state serialization.
+#ifndef FOCUS_NN_MODULE_H_
+#define FOCUS_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace focus {
+namespace nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All parameters of this module and registered submodules, in registration
+  // order. The returned handles share state with the module.
+  std::vector<Tensor> Parameters() const;
+  // Dotted-path names, e.g. "encoder.wq.weight".
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const;
+  int64_t NumParameters() const;
+
+  void ZeroGrad();
+
+  // Training mode toggles stochastic layers (Dropout).
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+ protected:
+  // Returns the stored handle; parameters always require grad.
+  Tensor& RegisterParameter(const std::string& name, Tensor value);
+  void RegisterModule(const std::string& name, std::shared_ptr<Module> module);
+
+  // Hook for subclasses that need to react to train/eval flips.
+  virtual void OnSetTraining(bool /*training*/) {}
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, Tensor>>* out) const;
+
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+  bool training_ = true;
+};
+
+// A module computing a single-tensor function; composable via Sequential.
+class UnaryModule : public Module {
+ public:
+  virtual Tensor Forward(const Tensor& x) = 0;
+};
+
+}  // namespace nn
+}  // namespace focus
+
+#endif  // FOCUS_NN_MODULE_H_

@@ -1,0 +1,118 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+namespace focus {
+namespace nn {
+
+namespace {
+constexpr char kMagic[8] = {'F', 'O', 'C', 'U', 'S', 'S', 'T', 'D'};
+}  // namespace
+
+Status SaveStateDict(const Module& module, const std::string& path) {
+  const auto named = module.NamedParameters();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  bool ok = std::fwrite(kMagic, 1, 8, f) == 8;
+  const int64_t count = static_cast<int64_t>(named.size());
+  ok = ok && std::fwrite(&count, sizeof(count), 1, f) == 1;
+  for (const auto& [name, tensor] : named) {
+    const int64_t name_len = static_cast<int64_t>(name.size());
+    const int64_t numel = tensor.numel();
+    ok = ok && std::fwrite(&name_len, sizeof(name_len), 1, f) == 1 &&
+         std::fwrite(name.data(), 1, name.size(), f) == name.size() &&
+         std::fwrite(&numel, sizeof(numel), 1, f) == 1 &&
+         std::fwrite(tensor.data(), sizeof(float),
+                     static_cast<size_t>(numel),
+                     f) == static_cast<size_t>(numel);
+  }
+  std::fclose(f);
+  if (!ok) return Status::IoError("short write to " + path);
+  return Status::Ok();
+}
+
+Status LoadStateDict(Module& module, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+
+  auto fail = [&](Status status) {
+    std::fclose(f);
+    return status;
+  };
+
+  char magic[8];
+  if (std::fread(magic, 1, 8, f) != 8 || std::memcmp(magic, kMagic, 8) != 0) {
+    return fail(Status::Corruption("bad state-dict magic in " + path));
+  }
+  int64_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, f) != 1 || count < 0 ||
+      count > (int64_t{1} << 24)) {
+    return fail(Status::Corruption("bad state-dict header in " + path));
+  }
+
+  std::map<std::string, std::vector<float>> entries;
+  for (int64_t i = 0; i < count; ++i) {
+    int64_t name_len = 0, numel = 0;
+    if (std::fread(&name_len, sizeof(name_len), 1, f) != 1 || name_len <= 0 ||
+        name_len > 4096) {
+      return fail(Status::Corruption("bad entry name in " + path));
+    }
+    std::string name(static_cast<size_t>(name_len), '\0');
+    if (std::fread(name.data(), 1, name.size(), f) != name.size() ||
+        std::fread(&numel, sizeof(numel), 1, f) != 1 || numel < 0 ||
+        numel > (int64_t{1} << 30)) {
+      return fail(Status::Corruption("bad entry header in " + path));
+    }
+    std::vector<float> values(static_cast<size_t>(numel));
+    if (std::fread(values.data(), sizeof(float), values.size(), f) !=
+        values.size()) {
+      return fail(Status::Corruption("truncated entry in " + path));
+    }
+    entries.emplace(std::move(name), std::move(values));
+  }
+  std::fclose(f);
+
+  // Validate everything against the module before mutating anything.
+  auto named = module.NamedParameters();
+  for (const auto& [name, tensor] : named) {
+    auto it = entries.find(name);
+    if (it == entries.end()) {
+      return Status::InvalidArgument("state dict missing parameter " + name);
+    }
+    if (static_cast<int64_t>(it->second.size()) != tensor.numel()) {
+      return Status::InvalidArgument("size mismatch for parameter " + name);
+    }
+  }
+  for (auto& [name, tensor] : named) {
+    const auto& values = entries.at(name);
+    Tensor t = tensor;
+    std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+  }
+  return Status::Ok();
+}
+
+std::vector<std::vector<float>> SnapshotParameters(const Module& module) {
+  std::vector<std::vector<float>> snapshot;
+  for (const Tensor& p : module.Parameters()) {
+    snapshot.push_back(p.ToVector());
+  }
+  return snapshot;
+}
+
+void RestoreParameters(Module& module,
+                       const std::vector<std::vector<float>>& snapshot) {
+  auto params = module.Parameters();
+  FOCUS_CHECK_EQ(params.size(), snapshot.size())
+      << "snapshot does not match module";
+  for (size_t i = 0; i < params.size(); ++i) {
+    FOCUS_CHECK_EQ(params[i].numel(),
+                   static_cast<int64_t>(snapshot[i].size()));
+    std::memcpy(params[i].data(), snapshot[i].data(),
+                snapshot[i].size() * sizeof(float));
+  }
+}
+
+}  // namespace nn
+}  // namespace focus

@@ -1,0 +1,34 @@
+// Module checkpointing: binary state-dict persistence (name -> tensor) and
+// cheap in-memory snapshots for early stopping / best-checkpoint restore.
+#ifndef FOCUS_NN_SERIALIZE_H_
+#define FOCUS_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "utils/status.h"
+
+namespace focus {
+namespace nn {
+
+// Writes all named parameters to `path`. Format: magic "FOCUSSTD",
+// int64 count, then per entry (int64 name_len, bytes, int64 numel, floats).
+Status SaveStateDict(const Module& module, const std::string& path);
+
+// Loads parameters by name into an architecturally identical module.
+// Fails with InvalidArgument on missing names or shape mismatches and with
+// Corruption on malformed files; the module is only mutated on success.
+Status LoadStateDict(Module& module, const std::string& path);
+
+// In-memory parameter snapshot (values only, registration order).
+std::vector<std::vector<float>> SnapshotParameters(const Module& module);
+
+// Restores a snapshot taken from the same module.
+void RestoreParameters(Module& module,
+                       const std::vector<std::vector<float>>& snapshot);
+
+}  // namespace nn
+}  // namespace focus
+
+#endif  // FOCUS_NN_SERIALIZE_H_

@@ -1,0 +1,85 @@
+// First-order optimizers: SGD (momentum), Adam, AdamW.
+//
+// AdamW (decoupled weight decay) is the optimizer the paper uses both for
+// prototype refinement in the offline clustering phase (Sec. V) and for
+// model training. Optimizers mutate parameter data in place and never build
+// autograd graphs.
+#ifndef FOCUS_OPTIM_OPTIMIZER_H_
+#define FOCUS_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace focus {
+namespace optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params, float lr);
+  virtual ~Optimizer() = default;
+
+  // Applies one update using the gradients currently stored on the params.
+  // Parameters with no gradient are skipped.
+  virtual void Step() = 0;
+
+  void ZeroGrad();
+
+  float lr() const { return lr_; }
+  void SetLr(float lr) { lr_ = lr; }
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+  float lr_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+
+  void Step() override;
+
+ protected:
+  // Shared Adam machinery; `decoupled_weight_decay` selects AdamW behavior.
+  void AdamStep(float weight_decay, bool decoupled);
+
+  float beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+// AdamW: Adam with decoupled weight decay (Loshchilov & Hutter), the
+// paper's optimizer of record.
+class AdamW : public Adam {
+ public:
+  AdamW(std::vector<Tensor> params, float lr, float weight_decay = 1e-2f,
+        float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+
+  void Step() override;
+
+ private:
+  float weight_decay_;
+};
+
+// Scales all gradients so their global L2 norm is at most `max_norm`.
+// Returns the pre-clip norm.
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm);
+
+}  // namespace optim
+}  // namespace focus
+
+#endif  // FOCUS_OPTIM_OPTIMIZER_H_

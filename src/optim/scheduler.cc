@@ -1,0 +1,55 @@
+#include "optim/scheduler.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "utils/check.h"
+
+namespace focus {
+namespace optim {
+
+CosineDecayLr::CosineDecayLr(float base_lr, int64_t total_steps, float min_lr)
+    : base_lr_(base_lr), total_steps_(total_steps), min_lr_(min_lr) {
+  FOCUS_CHECK_GT(total_steps, 0);
+  FOCUS_CHECK_LE(min_lr, base_lr);
+}
+
+float CosineDecayLr::LrAt(int64_t step) const {
+  if (step >= total_steps_) return min_lr_;
+  const double progress =
+      static_cast<double>(step) / static_cast<double>(total_steps_);
+  const double cosine = 0.5 * (1.0 + std::cos(std::numbers::pi * progress));
+  return static_cast<float>(min_lr_ + (base_lr_ - min_lr_) * cosine);
+}
+
+StepDecayLr::StepDecayLr(float base_lr, int64_t step_size, float gamma)
+    : base_lr_(base_lr), step_size_(step_size), gamma_(gamma) {
+  FOCUS_CHECK_GT(step_size, 0);
+  FOCUS_CHECK(gamma > 0.0f && gamma <= 1.0f);
+}
+
+float StepDecayLr::LrAt(int64_t step) const {
+  const int64_t decays = step / step_size_;
+  return base_lr_ * std::pow(gamma_, static_cast<float>(decays));
+}
+
+WarmupCosineLr::WarmupCosineLr(float base_lr, int64_t warmup_steps,
+                               int64_t total_steps, float min_lr)
+    : base_lr_(base_lr),
+      warmup_steps_(warmup_steps),
+      cosine_(base_lr, std::max<int64_t>(total_steps - warmup_steps, 1),
+              min_lr) {
+  FOCUS_CHECK_GE(warmup_steps, 0);
+  FOCUS_CHECK_GT(total_steps, warmup_steps);
+}
+
+float WarmupCosineLr::LrAt(int64_t step) const {
+  if (step < warmup_steps_) {
+    return base_lr_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  return cosine_.LrAt(step - warmup_steps_);
+}
+
+}  // namespace optim
+}  // namespace focus

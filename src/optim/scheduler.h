@@ -1,0 +1,73 @@
+// Learning-rate schedules. Stateless value objects: LrAt(step) computes the
+// rate, Apply() pushes it into an optimizer.
+#ifndef FOCUS_OPTIM_SCHEDULER_H_
+#define FOCUS_OPTIM_SCHEDULER_H_
+
+#include <cstdint>
+
+#include "optim/optimizer.h"
+
+namespace focus {
+namespace optim {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float LrAt(int64_t step) const = 0;
+
+  void Apply(Optimizer& optimizer, int64_t step) const {
+    optimizer.SetLr(LrAt(step));
+  }
+};
+
+// Constant learning rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float LrAt(int64_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+// Half-cosine decay from base_lr to min_lr over total_steps, then min_lr.
+class CosineDecayLr : public LrSchedule {
+ public:
+  CosineDecayLr(float base_lr, int64_t total_steps, float min_lr = 0.0f);
+  float LrAt(int64_t step) const override;
+
+ private:
+  float base_lr_;
+  int64_t total_steps_;
+  float min_lr_;
+};
+
+// Multiplies by gamma every step_size steps.
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(float base_lr, int64_t step_size, float gamma = 0.5f);
+  float LrAt(int64_t step) const override;
+
+ private:
+  float base_lr_;
+  int64_t step_size_;
+  float gamma_;
+};
+
+// Linear warmup to base_lr over warmup_steps, then cosine decay to min_lr.
+class WarmupCosineLr : public LrSchedule {
+ public:
+  WarmupCosineLr(float base_lr, int64_t warmup_steps, int64_t total_steps,
+                 float min_lr = 0.0f);
+  float LrAt(int64_t step) const override;
+
+ private:
+  float base_lr_;
+  int64_t warmup_steps_;
+  CosineDecayLr cosine_;
+};
+
+}  // namespace optim
+}  // namespace focus
+
+#endif  // FOCUS_OPTIM_SCHEDULER_H_

@@ -1,0 +1,134 @@
+#include "tensor/autograd.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tensor/ops.h"
+
+namespace focus {
+namespace autograd {
+
+Tensor MakeResult(Tensor out, std::string name, std::vector<Tensor> inputs,
+                  Node::BackwardFn backward) {
+  if (!GradMode::IsEnabled()) return out;
+  bool any_requires = false;
+  for (const Tensor& in : inputs) {
+    if (in.defined() && in.requires_grad()) {
+      any_requires = true;
+      break;
+    }
+  }
+  if (!any_requires) return out;
+
+  auto node = std::make_shared<Node>(std::move(name), std::move(inputs),
+                                     std::move(backward));
+  node->set_output(out.impl());
+  out.impl()->grad_fn = node;
+  out.impl()->requires_grad = true;
+  return out;
+}
+
+namespace {
+
+// Iterative DFS postorder over the node DAG: inputs appear before the nodes
+// consuming them, so iterating the result in reverse propagates gradients
+// from the root toward the leaves.
+std::vector<Node*> TopologicalOrder(Node* root) {
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  // Stack frame: node + whether its children were already expanded.
+  std::vector<std::pair<Node*, bool>> stack = {{root, false}};
+  while (!stack.empty()) {
+    auto [node, expanded] = stack.back();
+    stack.pop_back();
+    if (expanded) {
+      order.push_back(node);
+      continue;
+    }
+    if (!visited.insert(node).second) continue;
+    stack.push_back({node, true});
+    for (const Tensor& in : node->inputs()) {
+      if (in.defined() && in.grad_fn() && !visited.count(in.grad_fn().get())) {
+        stack.push_back({in.grad_fn().get(), false});
+      }
+    }
+  }
+  return order;
+}
+
+void AccumulateInto(Tensor& slot, const Tensor& grad) {
+  if (!slot.defined()) {
+    slot = grad.Clone();
+  } else {
+    AddInPlace(slot, grad);
+  }
+}
+
+}  // namespace
+
+void RunBackward(const Tensor& root) {
+  FOCUS_CHECK(root.defined());
+  FOCUS_CHECK(root.requires_grad())
+      << "Backward() on a tensor that does not require grad";
+  FOCUS_CHECK_EQ(root.numel(), 1) << "Backward() requires a scalar loss";
+
+  // Gradients are plain data; recording a second-order graph is unsupported.
+  NoGradGuard no_grad;
+
+  // Leaf root: d(root)/d(root) = 1.
+  if (!root.grad_fn()) {
+    Tensor g = Tensor::Ones(root.shape());
+    if (root.impl()->grad) {
+      Tensor existing = Tensor::FromImpl(root.impl()->grad);
+      AddInPlace(existing, g);
+    } else {
+      root.impl()->grad = g.impl();
+    }
+    return;
+  }
+
+  std::vector<Node*> order = TopologicalOrder(root.grad_fn().get());
+
+  // Transient gradient accumulators for non-leaf tensors.
+  std::unordered_map<TensorImpl*, Tensor> grads;
+  grads[root.impl().get()] = Tensor::Ones(root.shape());
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    std::shared_ptr<TensorImpl> out_impl = node->output();
+    if (!out_impl) continue;  // Output was never reachable; nothing to do.
+    auto grad_it = grads.find(out_impl.get());
+    if (grad_it == grads.end()) continue;  // No gradient flowed here.
+    Tensor grad_out = grad_it->second;
+    grads.erase(grad_it);
+
+    std::vector<Tensor> grad_inputs = node->Backward(grad_out);
+    FOCUS_CHECK_EQ(grad_inputs.size(), node->inputs().size())
+        << "backward of " << node->name() << " returned wrong arity";
+
+    for (size_t i = 0; i < grad_inputs.size(); ++i) {
+      const Tensor& input = node->inputs()[i];
+      Tensor& g = grad_inputs[i];
+      if (!g.defined()) continue;
+      if (!input.defined() || !input.requires_grad()) continue;
+      FOCUS_CHECK(g.shape() == input.shape())
+          << "backward of " << node->name() << " produced grad "
+          << ShapeToString(g.shape()) << " for input "
+          << ShapeToString(input.shape());
+      if (input.grad_fn()) {
+        AccumulateInto(grads[input.impl().get()], g);
+      } else {
+        // Leaf: accumulate into the persistent grad buffer.
+        if (input.impl()->grad) {
+          Tensor existing = Tensor::FromImpl(input.impl()->grad);
+          AddInPlace(existing, g);
+        } else {
+          input.impl()->grad = g.Clone().impl();
+        }
+      }
+    }
+  }
+}
+
+}  // namespace autograd
+}  // namespace focus

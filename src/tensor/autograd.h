@@ -1,0 +1,67 @@
+// Reverse-mode autograd tape.
+//
+// Each differentiable op produces a single output tensor and attaches a Node
+// recording (a) the op's input tensors — which keeps the upstream graph
+// alive — and (b) a closure mapping d(loss)/d(output) to d(loss)/d(input_i).
+// `RunBackward` topologically orders the reachable nodes and propagates
+// gradients, accumulating into leaf tensors' `grad` buffers. Intermediate
+// gradients live only in a transient map and are freed as soon as consumed.
+//
+// Limitations (by design, documented): single-output ops only, no
+// higher-order gradients (backward runs under NoGradGuard).
+#ifndef FOCUS_TENSOR_AUTOGRAD_H_
+#define FOCUS_TENSOR_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace focus {
+namespace autograd {
+
+class Node {
+ public:
+  // The backward function receives grad wrt the node's output and returns
+  // grads wrt each input (same order); undefined Tensors mark inputs that
+  // receive no gradient (e.g. integer-like index tensors).
+  using BackwardFn = std::function<std::vector<Tensor>(const Tensor&)>;
+
+  Node(std::string name, std::vector<Tensor> inputs, BackwardFn backward)
+      : name_(std::move(name)),
+        inputs_(std::move(inputs)),
+        backward_(std::move(backward)) {}
+
+  std::vector<Tensor> Backward(const Tensor& grad_output) const {
+    return backward_(grad_output);
+  }
+
+  const std::string& name() const { return name_; }
+  const std::vector<Tensor>& inputs() const { return inputs_; }
+
+  void set_output(const std::shared_ptr<TensorImpl>& impl) { output_ = impl; }
+  std::shared_ptr<TensorImpl> output() const { return output_.lock(); }
+
+ private:
+  std::string name_;
+  std::vector<Tensor> inputs_;
+  BackwardFn backward_;
+  // Weak: the output impl owns this node, not vice versa.
+  std::weak_ptr<TensorImpl> output_;
+};
+
+// Wires `out` into the tape if grad mode is on and any input requires grad.
+// Returns `out` for chaining. Ops call this exactly once per result.
+Tensor MakeResult(Tensor out, std::string name, std::vector<Tensor> inputs,
+                  Node::BackwardFn backward);
+
+// Entry point used by Tensor::Backward(). `root` must be a scalar.
+void RunBackward(const Tensor& root);
+
+}  // namespace autograd
+}  // namespace focus
+
+#endif  // FOCUS_TENSOR_AUTOGRAD_H_

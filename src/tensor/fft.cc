@@ -1,0 +1,93 @@
+#include "tensor/fft.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "utils/check.h"
+
+namespace focus {
+namespace fft {
+
+int64_t NextPow2(int64_t n) {
+  int64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(std::vector<std::complex<float>>& data, bool inverse) {
+  const size_t n = data.size();
+  FOCUS_CHECK(n > 0 && (n & (n - 1)) == 0) << "FFT size must be a power of 2";
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Butterflies.
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) *
+        (inverse ? 1.0 : -1.0);
+    const std::complex<float> wlen(static_cast<float>(std::cos(angle)),
+                                   static_cast<float>(std::sin(angle)));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<float> w(1.0f, 0.0f);
+      for (size_t j = 0; j < len / 2; ++j) {
+        const std::complex<float> u = data[i + j];
+        const std::complex<float> v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const float scale = 1.0f / static_cast<float>(n);
+    for (auto& v : data) v *= scale;
+  }
+}
+
+std::vector<float> Autocorrelation(const float* x, int64_t n) {
+  FOCUS_CHECK_GT(n, 0);
+  // Zero-pad to 2n (linear, not circular correlation), rounded to pow2.
+  const int64_t m = NextPow2(2 * n);
+  std::vector<std::complex<float>> freq(static_cast<size_t>(m),
+                                        {0.0f, 0.0f});
+  for (int64_t i = 0; i < n; ++i) freq[static_cast<size_t>(i)] = {x[i], 0.0f};
+  Fft(freq, /*inverse=*/false);
+  for (auto& v : freq) v *= std::conj(v);
+  Fft(freq, /*inverse=*/true);
+
+  std::vector<float> result(static_cast<size_t>(n));
+  const float r0 = freq[0].real();
+  if (std::fabs(r0) < 1e-12f) return result;  // zero series
+  const float inv = 1.0f / r0;
+  for (int64_t lag = 0; lag < n; ++lag) {
+    result[static_cast<size_t>(lag)] =
+        freq[static_cast<size_t>(lag)].real() * inv;
+  }
+  return result;
+}
+
+std::vector<int64_t> TopPeriods(const float* x, int64_t n, int64_t k,
+                                int64_t min_period) {
+  FOCUS_CHECK_GE(min_period, 1);
+  const std::vector<float> ac = Autocorrelation(x, n);
+  std::vector<int64_t> lags;
+  for (int64_t lag = min_period; lag <= n / 2; ++lag) lags.push_back(lag);
+  std::sort(lags.begin(), lags.end(), [&](int64_t a, int64_t b) {
+    return ac[static_cast<size_t>(a)] > ac[static_cast<size_t>(b)];
+  });
+  if (static_cast<int64_t>(lags.size()) > k) {
+    lags.resize(static_cast<size_t>(k));
+  }
+  return lags;
+}
+
+}  // namespace fft
+}  // namespace focus

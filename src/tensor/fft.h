@@ -1,0 +1,37 @@
+// Radix-2 FFT and FFT-based series analysis utilities.
+//
+// Powers the Autoformer-lite baseline's auto-correlation mechanism
+// (O(L log L), the efficiency trick of Wu et al., NeurIPS 2021) and offers
+// a principled period detector. Sizes are padded to the next power of two
+// internally.
+#ifndef FOCUS_TENSOR_FFT_H_
+#define FOCUS_TENSOR_FFT_H_
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace focus {
+namespace fft {
+
+// In-place iterative radix-2 Cooley-Tukey transform. data.size() must be a
+// power of two. `inverse` applies the 1/n-scaled inverse transform.
+void Fft(std::vector<std::complex<float>>& data, bool inverse);
+
+// Next power of two >= n.
+int64_t NextPow2(int64_t n);
+
+// Linear (non-circular) autocorrelation r[lag] = sum_i x[i] * x[i+lag] of a
+// real series, computed via zero-padded FFT in O(n log n). Returns lags
+// 0..n-1, normalized so r[0] == 1 (or all zeros for a zero series).
+std::vector<float> Autocorrelation(const float* x, int64_t n);
+
+// The `k` lags in [min_period, n/2] with the highest autocorrelation,
+// sorted by score descending.
+std::vector<int64_t> TopPeriods(const float* x, int64_t n, int64_t k,
+                                int64_t min_period);
+
+}  // namespace fft
+}  // namespace focus
+
+#endif  // FOCUS_TENSOR_FFT_H_

@@ -1,0 +1,59 @@
+#include "tensor/flops.h"
+
+#include <cstring>
+
+namespace focus {
+
+namespace {
+int64_t g_flops = 0;
+const char* g_region = nullptr;
+
+struct RegionEntry {
+  const char* name;
+  int64_t flops;
+};
+// Small flat store: region sets are tiny (a handful per model), and pointer
+// identity of string literals makes lookup a pointer compare in the common
+// case.
+std::vector<RegionEntry>& Regions() {
+  static std::vector<RegionEntry>* regions = new std::vector<RegionEntry>();
+  return *regions;
+}
+}  // namespace
+
+int64_t FlopCounter::Count() { return g_flops; }
+
+void FlopCounter::Reset() {
+  g_flops = 0;
+  Regions().clear();
+}
+
+void FlopCounter::Add(int64_t flops) {
+  g_flops += flops;
+  if (g_region != nullptr) {
+    for (auto& entry : Regions()) {
+      if (entry.name == g_region ||
+          std::strcmp(entry.name, g_region) == 0) {
+        entry.flops += flops;
+        return;
+      }
+    }
+    Regions().push_back({g_region, flops});
+  }
+}
+
+std::vector<std::pair<std::string, int64_t>> FlopCounter::Breakdown() {
+  std::vector<std::pair<std::string, int64_t>> out;
+  for (const auto& entry : Regions()) {
+    out.emplace_back(entry.name, entry.flops);
+  }
+  return out;
+}
+
+FlopRegion::FlopRegion(const char* name) : previous_(g_region) {
+  g_region = name;
+}
+
+FlopRegion::~FlopRegion() { g_region = previous_; }
+
+}  // namespace focus

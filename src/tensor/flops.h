@@ -1,0 +1,54 @@
+// Runtime floating-point operation counter.
+//
+// Every kernel in the tensor library reports the number of scalar FLOPs it
+// executes (a fused multiply-add counts as 2). This measures the actual
+// computational workload of a model forward pass — the FLOPs metric of the
+// paper's Fig. 6 / Table IV — rather than an analytic estimate, so the
+// numbers automatically stay honest as models evolve.
+#ifndef FOCUS_TENSOR_FLOPS_H_
+#define FOCUS_TENSOR_FLOPS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace focus {
+
+struct FlopCounter {
+  static int64_t Count();
+  static void Reset();
+  static void Add(int64_t flops);
+
+  // Per-region attribution (see FlopRegion): (region, flops) pairs in
+  // first-use order. Reset() clears the breakdown too.
+  static std::vector<std::pair<std::string, int64_t>> Breakdown();
+};
+
+// RAII region tag: FLOPs recorded while alive are attributed to `name` in
+// FlopCounter::Breakdown(). Regions may nest; the innermost wins. Used to
+// split a model's forward cost into embed / branches / fusion.
+class FlopRegion {
+ public:
+  explicit FlopRegion(const char* name);
+  ~FlopRegion();
+  FlopRegion(const FlopRegion&) = delete;
+  FlopRegion& operator=(const FlopRegion&) = delete;
+
+ private:
+  const char* previous_;
+};
+
+// RAII helper: resets the counter on construction, reads it on Elapsed().
+class FlopScope {
+ public:
+  FlopScope() : start_(FlopCounter::Count()) {}
+  int64_t Elapsed() const { return FlopCounter::Count() - start_; }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace focus
+
+#endif  // FOCUS_TENSOR_FLOPS_H_

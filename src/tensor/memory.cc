@@ -1,0 +1,29 @@
+#include "tensor/memory.h"
+
+#include <algorithm>
+
+namespace focus {
+
+namespace {
+// The library is single-threaded by design (see DESIGN.md); plain counters
+// keep the hot allocation path free of atomic traffic.
+int64_t g_current_bytes = 0;
+int64_t g_peak_bytes = 0;
+int64_t g_total_allocations = 0;
+}  // namespace
+
+int64_t MemoryStats::CurrentBytes() { return g_current_bytes; }
+int64_t MemoryStats::PeakBytes() { return g_peak_bytes; }
+int64_t MemoryStats::TotalAllocations() { return g_total_allocations; }
+
+void MemoryStats::ResetPeak() { g_peak_bytes = g_current_bytes; }
+
+void MemoryStats::RecordAlloc(int64_t bytes) {
+  g_current_bytes += bytes;
+  ++g_total_allocations;
+  g_peak_bytes = std::max(g_peak_bytes, g_current_bytes);
+}
+
+void MemoryStats::RecordFree(int64_t bytes) { g_current_bytes -= bytes; }
+
+}  // namespace focus

@@ -1,0 +1,32 @@
+// Tensor memory accounting.
+//
+// Every tensor buffer allocation/deallocation flows through these hooks so
+// experiments can report peak memory usage — one of the paper's three
+// efficiency metrics (Fig. 6, Table IV). Counters are process-global; the
+// harness resets the peak before a probed forward pass.
+#ifndef FOCUS_TENSOR_MEMORY_H_
+#define FOCUS_TENSOR_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace focus {
+
+struct MemoryStats {
+  // Bytes currently held by live tensor buffers.
+  static int64_t CurrentBytes();
+  // High-water mark since the last ResetPeak().
+  static int64_t PeakBytes();
+  // Total number of allocations since process start.
+  static int64_t TotalAllocations();
+  // Sets the peak to the current live byte count.
+  static void ResetPeak();
+
+  // Internal: called by the tensor allocator.
+  static void RecordAlloc(int64_t bytes);
+  static void RecordFree(int64_t bytes);
+};
+
+}  // namespace focus
+
+#endif  // FOCUS_TENSOR_MEMORY_H_

@@ -1,0 +1,30 @@
+// Internal helpers shared by the op kernels. Not part of the public API.
+#ifndef FOCUS_TENSOR_OPS_COMMON_H_
+#define FOCUS_TENSOR_OPS_COMMON_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace focus {
+namespace internal_ops {
+
+// Row-major strides in elements.
+std::vector<int64_t> Strides(const Shape& shape);
+
+// Effective strides for reading `in` as if it had shape `out`: broadcast
+// dimensions get stride 0. `in` must be right-aligned broadcast-compatible
+// with `out`.
+std::vector<int64_t> BroadcastReadStrides(const Shape& in, const Shape& out);
+
+// Sums `g` (whose shape broadcasts FROM `target`) down to `target`'s shape.
+// Used by backward passes of broadcasting binary ops.
+Tensor ReduceGradToShape(const Tensor& g, const Shape& target);
+
+// Normalizes a possibly-negative axis.
+int64_t NormalizeDim(int64_t dim, int64_t rank);
+
+}  // namespace internal_ops
+}  // namespace focus
+
+#endif  // FOCUS_TENSOR_OPS_COMMON_H_

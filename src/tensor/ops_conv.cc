@@ -1,0 +1,205 @@
+// Direct (non-im2col) 1D / 2D convolution kernels with fused backward.
+// Used by the graph / TCN / inception baselines (MTGNN, Graph WaveNet,
+// TimesNet, LightCTS). Sizes in this project are small, so simple loops
+// with good inner-stride behaviour are sufficient.
+#include <cstring>
+
+#include "tensor/autograd.h"
+#include "tensor/flops.h"
+#include "tensor/ops.h"
+
+namespace focus {
+
+Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias,
+              int64_t stride, int64_t padding, int64_t dilation) {
+  FOCUS_CHECK_EQ(x.dim(), 3) << "Conv1d expects (B, Cin, L)";
+  FOCUS_CHECK_EQ(w.dim(), 3) << "Conv1d expects weight (Cout, Cin, K)";
+  const int64_t B = x.size(0), Cin = x.size(1), L = x.size(2);
+  const int64_t Cout = w.size(0), K = w.size(2);
+  FOCUS_CHECK_EQ(w.size(1), Cin) << "Conv1d channel mismatch";
+  FOCUS_CHECK_GE(stride, 1);
+  FOCUS_CHECK_GE(dilation, 1);
+  const int64_t span = (K - 1) * dilation + 1;
+  const int64_t Lout = (L + 2 * padding - span) / stride + 1;
+  FOCUS_CHECK_GE(Lout, 1) << "Conv1d output length would be < 1";
+  if (bias.defined()) FOCUS_CHECK_EQ(bias.numel(), Cout);
+
+  Tensor out = Tensor::Zeros({B, Cout, Lout});
+  const float* px = x.data();
+  const float* pw = w.data();
+  float* po = out.data();
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t co = 0; co < Cout; ++co) {
+      float* orow = po + (b * Cout + co) * Lout;
+      if (bias.defined()) {
+        const float bv = bias.data()[co];
+        for (int64_t lo = 0; lo < Lout; ++lo) orow[lo] = bv;
+      }
+      for (int64_t ci = 0; ci < Cin; ++ci) {
+        const float* xrow = px + (b * Cin + ci) * L;
+        const float* wrow = pw + (co * Cin + ci) * K;
+        for (int64_t kk = 0; kk < K; ++kk) {
+          const float wv = wrow[kk];
+          const int64_t base = kk * dilation - padding;
+          for (int64_t lo = 0; lo < Lout; ++lo) {
+            const int64_t li = lo * stride + base;
+            if (li >= 0 && li < L) orow[lo] += wv * xrow[li];
+          }
+        }
+      }
+    }
+  }
+  FlopCounter::Add(2 * B * Cout * Lout * Cin * K);
+
+  Tensor xd = x.Detach(), wd = w.Detach();
+  const bool has_bias = bias.defined();
+  return autograd::MakeResult(
+      out, "Conv1d", {x, w, bias},
+      [xd, wd, has_bias, B, Cin, L, Cout, K, Lout, stride, padding,
+       dilation](const Tensor& g) -> std::vector<Tensor> {
+        Tensor gx = Tensor::Zeros(xd.shape());
+        Tensor gw = Tensor::Zeros(wd.shape());
+        Tensor gb = has_bias ? Tensor::Zeros({Cout}) : Tensor();
+        const float* pg = g.data();
+        const float* px = xd.data();
+        const float* pw = wd.data();
+        float* pgx = gx.data();
+        float* pgw = gw.data();
+        for (int64_t b = 0; b < B; ++b) {
+          for (int64_t co = 0; co < Cout; ++co) {
+            const float* grow = pg + (b * Cout + co) * Lout;
+            if (has_bias) {
+              float acc = 0.0f;
+              for (int64_t lo = 0; lo < Lout; ++lo) acc += grow[lo];
+              gb.data()[co] += acc;
+            }
+            for (int64_t ci = 0; ci < Cin; ++ci) {
+              const float* xrow = px + (b * Cin + ci) * L;
+              float* gxrow = pgx + (b * Cin + ci) * L;
+              const float* wrow = pw + (co * Cin + ci) * K;
+              float* gwrow = pgw + (co * Cin + ci) * K;
+              for (int64_t kk = 0; kk < K; ++kk) {
+                const float wv = wrow[kk];
+                const int64_t base = kk * dilation - padding;
+                float wacc = 0.0f;
+                for (int64_t lo = 0; lo < Lout; ++lo) {
+                  const int64_t li = lo * stride + base;
+                  if (li >= 0 && li < L) {
+                    const float gv = grow[lo];
+                    gxrow[li] += wv * gv;
+                    wacc += xrow[li] * gv;
+                  }
+                }
+                gwrow[kk] += wacc;
+              }
+            }
+          }
+        }
+        FlopCounter::Add(4 * B * Cout * Lout * Cin * K);
+        return {gx, gw, gb};
+      });
+}
+
+Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
+              int64_t stride, int64_t padding) {
+  FOCUS_CHECK_EQ(x.dim(), 4) << "Conv2d expects (B, Cin, H, W)";
+  FOCUS_CHECK_EQ(w.dim(), 4) << "Conv2d expects weight (Cout, Cin, KH, KW)";
+  const int64_t B = x.size(0), Cin = x.size(1), H = x.size(2), W = x.size(3);
+  const int64_t Cout = w.size(0), KH = w.size(2), KW = w.size(3);
+  FOCUS_CHECK_EQ(w.size(1), Cin) << "Conv2d channel mismatch";
+  const int64_t Hout = (H + 2 * padding - KH) / stride + 1;
+  const int64_t Wout = (W + 2 * padding - KW) / stride + 1;
+  FOCUS_CHECK(Hout >= 1 && Wout >= 1) << "Conv2d output would be empty";
+  if (bias.defined()) FOCUS_CHECK_EQ(bias.numel(), Cout);
+
+  Tensor out = Tensor::Zeros({B, Cout, Hout, Wout});
+  const float* px = x.data();
+  const float* pw = w.data();
+  float* po = out.data();
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t co = 0; co < Cout; ++co) {
+      float* oplane = po + (b * Cout + co) * Hout * Wout;
+      if (bias.defined()) {
+        const float bv = bias.data()[co];
+        for (int64_t i = 0; i < Hout * Wout; ++i) oplane[i] = bv;
+      }
+      for (int64_t ci = 0; ci < Cin; ++ci) {
+        const float* xplane = px + (b * Cin + ci) * H * W;
+        const float* wplane = pw + (co * Cin + ci) * KH * KW;
+        for (int64_t kh = 0; kh < KH; ++kh) {
+          for (int64_t kw = 0; kw < KW; ++kw) {
+            const float wv = wplane[kh * KW + kw];
+            for (int64_t ho = 0; ho < Hout; ++ho) {
+              const int64_t hi = ho * stride + kh - padding;
+              if (hi < 0 || hi >= H) continue;
+              float* orow = oplane + ho * Wout;
+              const float* xrow = xplane + hi * W;
+              for (int64_t wo = 0; wo < Wout; ++wo) {
+                const int64_t wi = wo * stride + kw - padding;
+                if (wi >= 0 && wi < W) orow[wo] += wv * xrow[wi];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  FlopCounter::Add(2 * B * Cout * Hout * Wout * Cin * KH * KW);
+
+  Tensor xd = x.Detach(), wd = w.Detach();
+  const bool has_bias = bias.defined();
+  return autograd::MakeResult(
+      out, "Conv2d", {x, w, bias},
+      [xd, wd, has_bias, B, Cin, H, W, Cout, KH, KW, Hout, Wout, stride,
+       padding](const Tensor& g) -> std::vector<Tensor> {
+        Tensor gx = Tensor::Zeros(xd.shape());
+        Tensor gw = Tensor::Zeros(wd.shape());
+        Tensor gb = has_bias ? Tensor::Zeros({Cout}) : Tensor();
+        const float* pg = g.data();
+        const float* px = xd.data();
+        const float* pw = wd.data();
+        float* pgx = gx.data();
+        float* pgw = gw.data();
+        for (int64_t b = 0; b < B; ++b) {
+          for (int64_t co = 0; co < Cout; ++co) {
+            const float* gplane = pg + (b * Cout + co) * Hout * Wout;
+            if (has_bias) {
+              float acc = 0.0f;
+              for (int64_t i = 0; i < Hout * Wout; ++i) acc += gplane[i];
+              gb.data()[co] += acc;
+            }
+            for (int64_t ci = 0; ci < Cin; ++ci) {
+              const float* xplane = px + (b * Cin + ci) * H * W;
+              float* gxplane = pgx + (b * Cin + ci) * H * W;
+              const float* wplane = pw + (co * Cin + ci) * KH * KW;
+              float* gwplane = pgw + (co * Cin + ci) * KH * KW;
+              for (int64_t kh = 0; kh < KH; ++kh) {
+                for (int64_t kw = 0; kw < KW; ++kw) {
+                  const float wv = wplane[kh * KW + kw];
+                  float wacc = 0.0f;
+                  for (int64_t ho = 0; ho < Hout; ++ho) {
+                    const int64_t hi = ho * stride + kh - padding;
+                    if (hi < 0 || hi >= H) continue;
+                    const float* grow = gplane + ho * Wout;
+                    const float* xrow = xplane + hi * W;
+                    float* gxrow = gxplane + hi * W;
+                    for (int64_t wo = 0; wo < Wout; ++wo) {
+                      const int64_t wi = wo * stride + kw - padding;
+                      if (wi >= 0 && wi < W) {
+                        gxrow[wi] += wv * grow[wo];
+                        wacc += xrow[wi] * grow[wo];
+                      }
+                    }
+                  }
+                  gwplane[kh * KW + kw] += wacc;
+                }
+              }
+            }
+          }
+        }
+        FlopCounter::Add(4 * B * Cout * Hout * Wout * Cin * KH * KW);
+        return {gx, gw, gb};
+      });
+}
+
+}  // namespace focus

@@ -1,0 +1,253 @@
+// Elementwise binary / scalar / unary kernels and the loss compositions.
+#include <cmath>
+#include <cstring>
+#include <functional>
+
+#include "tensor/autograd.h"
+#include "tensor/flops.h"
+#include "tensor/ops.h"
+#include "tensor/ops_common.h"
+
+namespace focus {
+
+namespace {
+
+using internal_ops::BroadcastReadStrides;
+using internal_ops::ReduceGradToShape;
+
+// Applies `f` elementwise with NumPy broadcasting. The fast path covers the
+// overwhelmingly common equal-shape case.
+template <typename F>
+Tensor BinaryKernel(const Tensor& a, const Tensor& b, F f) {
+  if (a.shape() == b.shape()) {
+    Tensor out = Tensor::Empty(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    FlopCounter::Add(n);
+    return out;
+  }
+  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  Tensor out = Tensor::Empty(out_shape);
+  const auto sa = BroadcastReadStrides(a.shape(), out_shape);
+  const auto sb = BroadcastReadStrides(b.shape(), out_shape);
+  const auto so = internal_ops::Strides(out_shape);
+  const int64_t n = out.numel();
+  const int64_t rank = static_cast<int64_t>(out_shape.size());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t flat = 0; flat < n; ++flat) {
+    int64_t rem = flat, oa = 0, ob = 0;
+    for (int64_t d = 0; d < rank; ++d) {
+      const int64_t idx = rem / so[d];
+      rem -= idx * so[d];
+      oa += idx * sa[d];
+      ob += idx * sb[d];
+    }
+    po[flat] = f(pa[oa], pb[ob]);
+  }
+  FlopCounter::Add(n);
+  return out;
+}
+
+// Unary op scaffold: forward applies `f`; backward multiplies the incoming
+// gradient by df(x, y) where y = f(x).
+Tensor UnaryOp(const Tensor& x, const char* name,
+               const std::function<float(float)>& f,
+               const std::function<float(float, float)>& df) {
+  Tensor out = Tensor::Empty(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  const int64_t n = x.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(px[i]);
+  FlopCounter::Add(2 * n);
+
+  Tensor x_saved = x.Detach();
+  Tensor y_saved = out.Detach();
+  return autograd::MakeResult(
+      out, name, {x},
+      [x_saved, y_saved, df](const Tensor& g) -> std::vector<Tensor> {
+        Tensor gin = Tensor::Empty(x_saved.shape());
+        const float* pg = g.data();
+        const float* px = x_saved.data();
+        const float* py = y_saved.data();
+        float* pi = gin.data();
+        const int64_t n = gin.numel();
+        for (int64_t i = 0; i < n; ++i) pi[i] = pg[i] * df(px[i], py[i]);
+        FlopCounter::Add(2 * n);
+        return {gin};
+      });
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  Tensor out = BinaryKernel(a, b, [](float x, float y) { return x + y; });
+  Shape sa = a.shape(), sb = b.shape();
+  return autograd::MakeResult(
+      out, "Add", {a, b}, [sa, sb](const Tensor& g) -> std::vector<Tensor> {
+        return {ReduceGradToShape(g, sa), ReduceGradToShape(g, sb)};
+      });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  Tensor out = BinaryKernel(a, b, [](float x, float y) { return x - y; });
+  Shape sa = a.shape(), sb = b.shape();
+  return autograd::MakeResult(
+      out, "Sub", {a, b}, [sa, sb](const Tensor& g) -> std::vector<Tensor> {
+        NoGradGuard no_grad;
+        return {ReduceGradToShape(g, sa), ReduceGradToShape(Neg(g), sb)};
+      });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  Tensor out = BinaryKernel(a, b, [](float x, float y) { return x * y; });
+  Tensor ad = a.Detach(), bd = b.Detach();
+  return autograd::MakeResult(
+      out, "Mul", {a, b}, [ad, bd](const Tensor& g) -> std::vector<Tensor> {
+        NoGradGuard no_grad;
+        return {ReduceGradToShape(Mul(g, bd), ad.shape()),
+                ReduceGradToShape(Mul(g, ad), bd.shape())};
+      });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  Tensor out = BinaryKernel(a, b, [](float x, float y) { return x / y; });
+  Tensor ad = a.Detach(), bd = b.Detach();
+  return autograd::MakeResult(
+      out, "Div", {a, b}, [ad, bd](const Tensor& g) -> std::vector<Tensor> {
+        NoGradGuard no_grad;
+        Tensor ga = ReduceGradToShape(Div(g, bd), ad.shape());
+        Tensor gb = ReduceGradToShape(
+            Neg(Div(Mul(g, ad), Mul(bd, bd))), bd.shape());
+        return {ga, gb};
+      });
+}
+
+Tensor AddScalar(const Tensor& x, float s) {
+  Tensor out = Tensor::Empty(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < x.numel(); ++i) po[i] = px[i] + s;
+  FlopCounter::Add(x.numel());
+  return autograd::MakeResult(
+      out, "AddScalar", {x},
+      [](const Tensor& g) -> std::vector<Tensor> { return {g.Clone()}; });
+}
+
+Tensor MulScalar(const Tensor& x, float s) {
+  Tensor out = Tensor::Empty(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < x.numel(); ++i) po[i] = px[i] * s;
+  FlopCounter::Add(x.numel());
+  return autograd::MakeResult(
+      out, "MulScalar", {x}, [s](const Tensor& g) -> std::vector<Tensor> {
+        NoGradGuard no_grad;
+        return {MulScalar(g, s)};
+      });
+}
+
+Tensor PowScalar(const Tensor& x, float p) {
+  return UnaryOp(
+      x, "PowScalar", [p](float v) { return std::pow(v, p); },
+      [p](float v, float) { return p * std::pow(v, p - 1.0f); });
+}
+
+Tensor Neg(const Tensor& x) {
+  return UnaryOp(
+      x, "Neg", [](float v) { return -v; },
+      [](float, float) { return -1.0f; });
+}
+
+Tensor Exp(const Tensor& x) {
+  return UnaryOp(
+      x, "Exp", [](float v) { return std::exp(v); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& x) {
+  return UnaryOp(
+      x, "Log", [](float v) { return std::log(v); },
+      [](float v, float) { return 1.0f / v; });
+}
+
+Tensor Sqrt(const Tensor& x) {
+  return UnaryOp(
+      x, "Sqrt", [](float v) { return std::sqrt(v); },
+      [](float, float y) { return 0.5f / y; });
+}
+
+Tensor Abs(const Tensor& x) {
+  return UnaryOp(
+      x, "Abs", [](float v) { return std::fabs(v); },
+      [](float v, float) { return v > 0 ? 1.0f : (v < 0 ? -1.0f : 0.0f); });
+}
+
+Tensor Relu(const Tensor& x) {
+  return UnaryOp(
+      x, "Relu", [](float v) { return v > 0 ? v : 0.0f; },
+      [](float v, float) { return v > 0 ? 1.0f : 0.0f; });
+}
+
+Tensor Gelu(const Tensor& x) {
+  // tanh approximation: 0.5 x (1 + tanh(c (x + 0.044715 x^3))),
+  // c = sqrt(2/pi).
+  constexpr float kC = 0.7978845608028654f;
+  constexpr float kA = 0.044715f;
+  return UnaryOp(
+      x, "Gelu",
+      [](float v) {
+        const float u = kC * (v + kA * v * v * v);
+        return 0.5f * v * (1.0f + std::tanh(u));
+      },
+      [](float v, float) {
+        const float u = kC * (v + kA * v * v * v);
+        const float t = std::tanh(u);
+        const float du = kC * (1.0f + 3.0f * kA * v * v);
+        return 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+      });
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  return UnaryOp(
+      x, "Sigmoid",
+      [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& x) {
+  return UnaryOp(
+      x, "Tanh", [](float v) { return std::tanh(v); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor MseLoss(const Tensor& pred, const Tensor& target) {
+  FOCUS_CHECK(pred.shape() == target.shape())
+      << "MseLoss shape mismatch: " << ShapeToString(pred.shape()) << " vs "
+      << ShapeToString(target.shape());
+  Tensor diff = Sub(pred, target);
+  return MeanAll(Mul(diff, diff));
+}
+
+Tensor L1Loss(const Tensor& pred, const Tensor& target) {
+  FOCUS_CHECK(pred.shape() == target.shape())
+      << "L1Loss shape mismatch";
+  return MeanAll(Abs(Sub(pred, target)));
+}
+
+void AddInPlace(Tensor& a, const Tensor& b) {
+  FOCUS_CHECK(a.shape() == b.shape())
+      << "AddInPlace shape mismatch: " << ShapeToString(a.shape()) << " vs "
+      << ShapeToString(b.shape());
+  float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+  FlopCounter::Add(n);
+}
+
+}  // namespace focus

@@ -1,0 +1,94 @@
+// Matrix multiplication with batch broadcasting, plus its backward pass.
+#include <cstring>
+
+#include "tensor/autograd.h"
+#include "tensor/flops.h"
+#include "tensor/ops.h"
+#include "tensor/ops_common.h"
+
+namespace focus {
+
+namespace {
+
+// C(batch,m,n) = A(batch_a,m,k) @ B(batch_b,k,n), batch_a/batch_b in
+// {1, batch}. Cache-friendly i-k-j loop with row accumulation.
+void MatMulKernel(const float* a, const float* b, float* c, int64_t batch,
+                  int64_t batch_a, int64_t batch_b, int64_t m, int64_t k,
+                  int64_t n) {
+  for (int64_t t = 0; t < batch; ++t) {
+    const float* at = a + (batch_a == 1 ? 0 : t) * m * k;
+    const float* bt = b + (batch_b == 1 ? 0 : t) * k * n;
+    float* ct = c + t * m * n;
+    std::memset(ct, 0, static_cast<size_t>(m * n) * sizeof(float));
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = at + i * k;
+      float* crow = ct + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        const float* brow = bt + kk * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+  FlopCounter::Add(2 * batch * m * n * k);
+}
+
+// Transposes the last two dims of a 2D/3D tensor (materialized, no graph).
+Tensor TransposeLast2(const Tensor& x) {
+  NoGradGuard no_grad;
+  return Transpose(x, x.dim() - 2, x.dim() - 1);
+}
+
+struct MatMulDims {
+  int64_t batch, batch_a, batch_b, m, k, n;
+};
+
+MatMulDims ResolveDims(const Tensor& a, const Tensor& b) {
+  FOCUS_CHECK(a.dim() == 2 || a.dim() == 3)
+      << "MatMul lhs rank must be 2 or 3, got " << ShapeToString(a.shape());
+  FOCUS_CHECK(b.dim() == 2 || b.dim() == 3)
+      << "MatMul rhs rank must be 2 or 3, got " << ShapeToString(b.shape());
+  MatMulDims d;
+  d.batch_a = a.dim() == 3 ? a.size(0) : 1;
+  d.batch_b = b.dim() == 3 ? b.size(0) : 1;
+  d.m = a.size(-2);
+  d.k = a.size(-1);
+  FOCUS_CHECK_EQ(d.k, b.size(-2))
+      << "MatMul inner-dim mismatch: " << ShapeToString(a.shape()) << " @ "
+      << ShapeToString(b.shape());
+  d.n = b.size(-1);
+  FOCUS_CHECK(d.batch_a == d.batch_b || d.batch_a == 1 || d.batch_b == 1)
+      << "MatMul batch mismatch: " << d.batch_a << " vs " << d.batch_b;
+  d.batch = std::max(d.batch_a, d.batch_b);
+  return d;
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  const MatMulDims d = ResolveDims(a, b);
+  const bool batched_out = (a.dim() == 3 || b.dim() == 3);
+  Shape out_shape = batched_out ? Shape{d.batch, d.m, d.n} : Shape{d.m, d.n};
+  Tensor out = Tensor::Empty(out_shape);
+  MatMulKernel(a.data(), b.data(), out.data(), d.batch, d.batch_a, d.batch_b,
+               d.m, d.k, d.n);
+
+  Tensor ad = a.Detach(), bd = b.Detach();
+  return autograd::MakeResult(
+      out, "MatMul", {a, b}, [ad, bd](const Tensor& g) -> std::vector<Tensor> {
+        NoGradGuard no_grad;
+        // dA = g @ B^T, dB = A^T @ g; batch-broadcast inputs get their
+        // batch dimension summed back out.
+        Tensor ga = MatMul(g, TransposeLast2(bd));
+        Tensor gb = MatMul(TransposeLast2(ad), g);
+        if (ga.dim() == 3 && ad.dim() == 2) {
+          ga = Sum(ga, 0, /*keepdim=*/false);
+        }
+        if (gb.dim() == 3 && bd.dim() == 2) {
+          gb = Sum(gb, 0, /*keepdim=*/false);
+        }
+        return {ga, gb};
+      });
+}
+
+}  // namespace focus

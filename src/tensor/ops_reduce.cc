@@ -1,0 +1,110 @@
+// Reduction kernels (sum / mean, full and per-axis) and BroadcastTo.
+#include "tensor/autograd.h"
+#include "tensor/flops.h"
+#include "tensor/ops.h"
+#include "tensor/ops_common.h"
+
+namespace focus {
+
+namespace {
+using internal_ops::NormalizeDim;
+}  // namespace
+
+Tensor SumAll(const Tensor& x) {
+  double acc = 0.0;  // double accumulator for numerical robustness
+  const float* px = x.data();
+  const int64_t n = x.numel();
+  for (int64_t i = 0; i < n; ++i) acc += px[i];
+  FlopCounter::Add(n);
+  Tensor out = Tensor::Scalar(static_cast<float>(acc));
+  Shape xs = x.shape();
+  return autograd::MakeResult(
+      out, "SumAll", {x}, [xs](const Tensor& g) -> std::vector<Tensor> {
+        return {Tensor::Full(xs, g.Item())};
+      });
+}
+
+Tensor MeanAll(const Tensor& x) {
+  const float inv_n = 1.0f / static_cast<float>(x.numel());
+  return MulScalar(SumAll(x), inv_n);
+}
+
+Tensor Sum(const Tensor& x, int64_t dim, bool keepdim) {
+  dim = NormalizeDim(dim, x.dim());
+  const Shape& xs = x.shape();
+  Shape out_shape;
+  for (int64_t d = 0; d < x.dim(); ++d) {
+    if (d == dim) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(xs[static_cast<size_t>(d)]);
+    }
+  }
+  if (out_shape.empty()) out_shape.push_back(1);
+
+  // View as (outer, reduce, inner) for a cache-friendly loop.
+  int64_t outer = 1, inner = 1;
+  for (int64_t d = 0; d < dim; ++d) outer *= xs[static_cast<size_t>(d)];
+  for (int64_t d = dim + 1; d < x.dim(); ++d) {
+    inner *= xs[static_cast<size_t>(d)];
+  }
+  const int64_t reduce = xs[static_cast<size_t>(dim)];
+
+  Tensor out = Tensor::Zeros(out_shape);
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t r = 0; r < reduce; ++r) {
+      const float* row = px + (o * reduce + r) * inner;
+      float* orow = po + o * inner;
+      for (int64_t i = 0; i < inner; ++i) orow[i] += row[i];
+    }
+  }
+  FlopCounter::Add(x.numel());
+
+  Shape x_shape = xs;
+  Shape keep_shape = xs;
+  keep_shape[static_cast<size_t>(dim)] = 1;
+  return autograd::MakeResult(
+      out, "Sum", {x},
+      [x_shape, keep_shape](const Tensor& g) -> std::vector<Tensor> {
+        NoGradGuard no_grad;
+        return {BroadcastTo(Reshape(g, keep_shape), x_shape)};
+      });
+}
+
+Tensor Mean(const Tensor& x, int64_t dim, bool keepdim) {
+  const int64_t d = NormalizeDim(dim, x.dim());
+  const float inv = 1.0f / static_cast<float>(x.size(d));
+  return MulScalar(Sum(x, d, keepdim), inv);
+}
+
+Tensor BroadcastTo(const Tensor& x, const Shape& shape) {
+  if (x.shape() == shape) return x.Clone();
+  FOCUS_CHECK_LE(x.dim(), static_cast<int64_t>(shape.size()))
+      << "BroadcastTo cannot reduce rank";
+  Tensor out = Tensor::Empty(shape);
+  const auto sx = internal_ops::BroadcastReadStrides(x.shape(), shape);
+  const auto so = internal_ops::Strides(shape);
+  const int64_t n = out.numel();
+  const int64_t rank = static_cast<int64_t>(shape.size());
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t flat = 0; flat < n; ++flat) {
+    int64_t rem = flat, ox = 0;
+    for (int64_t d = 0; d < rank; ++d) {
+      const int64_t idx = rem / so[d];
+      rem -= idx * so[d];
+      ox += idx * sx[d];
+    }
+    po[flat] = px[ox];
+  }
+
+  Shape xs = x.shape();
+  return autograd::MakeResult(
+      out, "BroadcastTo", {x}, [xs](const Tensor& g) -> std::vector<Tensor> {
+        return {internal_ops::ReduceGradToShape(g, xs)};
+      });
+}
+
+}  // namespace focus

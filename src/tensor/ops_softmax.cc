@@ -1,0 +1,141 @@
+// Fused softmax and layer-norm over the last dimension, with analytic
+// backward passes (avoids long autograd chains in the attention hot path).
+#include <cmath>
+#include <vector>
+
+#include "tensor/autograd.h"
+#include "tensor/flops.h"
+#include "tensor/ops.h"
+
+namespace focus {
+
+Tensor SoftmaxLastDim(const Tensor& x) {
+  FOCUS_CHECK_GE(x.dim(), 1);
+  const int64_t n = x.size(-1);
+  const int64_t rows = x.numel() / n;
+  Tensor out = Tensor::Empty(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xi = px + r * n;
+    float* yi = po + r * n;
+    float max_v = xi[0];
+    for (int64_t i = 1; i < n; ++i) max_v = std::max(max_v, xi[i]);
+    float sum = 0.0f;
+    for (int64_t i = 0; i < n; ++i) {
+      yi[i] = std::exp(xi[i] - max_v);
+      sum += yi[i];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t i = 0; i < n; ++i) yi[i] *= inv;
+  }
+  FlopCounter::Add(5 * x.numel());
+
+  Tensor y_saved = out.Detach();
+  return autograd::MakeResult(
+      out, "Softmax", {x},
+      [y_saved, n, rows](const Tensor& g) -> std::vector<Tensor> {
+        // dx_i = y_i * (g_i - sum_j g_j y_j)
+        Tensor gin = Tensor::Empty(y_saved.shape());
+        const float* pg = g.data();
+        const float* py = y_saved.data();
+        float* pi = gin.data();
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* gi = pg + r * n;
+          const float* yi = py + r * n;
+          float* xi = pi + r * n;
+          float dot = 0.0f;
+          for (int64_t i = 0; i < n; ++i) dot += gi[i] * yi[i];
+          for (int64_t i = 0; i < n; ++i) xi[i] = yi[i] * (gi[i] - dot);
+        }
+        FlopCounter::Add(4 * y_saved.numel());
+        return {gin};
+      });
+}
+
+Tensor LayerNormLastDim(const Tensor& x, const Tensor& gamma,
+                        const Tensor& beta, float eps) {
+  FOCUS_CHECK_GE(x.dim(), 1);
+  const int64_t n = x.size(-1);
+  FOCUS_CHECK_EQ(gamma.numel(), n) << "LayerNorm gamma size mismatch";
+  FOCUS_CHECK_EQ(beta.numel(), n) << "LayerNorm beta size mismatch";
+  const int64_t rows = x.numel() / n;
+
+  Tensor out = Tensor::Empty(x.shape());
+  // Saved statistics for backward (raw buffers, not autograd tensors).
+  std::vector<float> means(static_cast<size_t>(rows));
+  std::vector<float> rstds(static_cast<size_t>(rows));
+  const float* px = x.data();
+  const float* pgm = gamma.data();
+  const float* pbt = beta.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xi = px + r * n;
+    float* yi = po + r * n;
+    float mean = 0.0f;
+    for (int64_t i = 0; i < n; ++i) mean += xi[i];
+    mean /= static_cast<float>(n);
+    float var = 0.0f;
+    for (int64_t i = 0; i < n; ++i) {
+      const float d = xi[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(n);
+    const float rstd = 1.0f / std::sqrt(var + eps);
+    means[static_cast<size_t>(r)] = mean;
+    rstds[static_cast<size_t>(r)] = rstd;
+    for (int64_t i = 0; i < n; ++i) {
+      yi[i] = (xi[i] - mean) * rstd * pgm[i] + pbt[i];
+    }
+  }
+  FlopCounter::Add(8 * x.numel());
+
+  Tensor x_saved = x.Detach();
+  Tensor gamma_saved = gamma.Detach();
+  return autograd::MakeResult(
+      out, "LayerNorm", {x, gamma, beta},
+      [x_saved, gamma_saved, means, rstds, n,
+       rows](const Tensor& g) -> std::vector<Tensor> {
+        Tensor gx = Tensor::Empty(x_saved.shape());
+        Tensor ggamma = Tensor::Zeros({n});
+        Tensor gbeta = Tensor::Zeros({n});
+        const float* pg = g.data();
+        const float* px = x_saved.data();
+        const float* pgm = gamma_saved.data();
+        float* pgx = gx.data();
+        float* pgg = ggamma.data();
+        float* pgb = gbeta.data();
+        const float inv_n = 1.0f / static_cast<float>(n);
+        for (int64_t r = 0; r < rows; ++r) {
+          const float mean = means[static_cast<size_t>(r)];
+          const float rstd = rstds[static_cast<size_t>(r)];
+          const float* gi = pg + r * n;
+          const float* xi = px + r * n;
+          float* gxi = pgx + r * n;
+          // dxhat_i = g_i * gamma_i; dx from the standard layer-norm
+          // gradient: rstd * (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat)).
+          float sum_dxhat = 0.0f, sum_dxhat_xhat = 0.0f;
+          for (int64_t i = 0; i < n; ++i) {
+            const float xhat = (xi[i] - mean) * rstd;
+            const float dxhat = gi[i] * pgm[i];
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += dxhat * xhat;
+            pgg[i] += gi[i] * xhat;
+            pgb[i] += gi[i];
+          }
+          sum_dxhat *= inv_n;
+          sum_dxhat_xhat *= inv_n;
+          for (int64_t i = 0; i < n; ++i) {
+            const float xhat = (xi[i] - mean) * rstd;
+            const float dxhat = gi[i] * pgm[i];
+            gxi[i] = rstd * (dxhat - sum_dxhat - xhat * sum_dxhat_xhat);
+          }
+        }
+        FlopCounter::Add(12 * x_saved.numel());
+        // gamma/beta grads must match the parameter shapes exactly.
+        return {gx, Reshape(ggamma, gamma_saved.shape()),
+                Reshape(gbeta, gamma_saved.shape())};
+      });
+}
+
+}  // namespace focus

@@ -1,0 +1,70 @@
+// Assertion and fatal-error macros.
+//
+// The library does not use exceptions (see DESIGN.md Sec. 6). Programmer
+// errors — shape mismatches, out-of-range indices, violated invariants —
+// terminate the process with a message through FOCUS_CHECK. Fallible
+// operations (file I/O, parsing) return focus::Status instead.
+#ifndef FOCUS_UTILS_CHECK_H_
+#define FOCUS_UTILS_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace focus {
+namespace internal_check {
+
+// Accumulates a message and aborts the process when destroyed. Usage is via
+// the FOCUS_CHECK family of macros only.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "FATAL " << file << ":" << line << " check failed: "
+            << condition << " ";
+  }
+
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Allows FOCUS_CHECK(...) << "details" to appear in expressions returning
+// void. The operator& has lower precedence than << but higher than ?:.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_check
+}  // namespace focus
+
+#define FOCUS_CHECK(cond)                                                \
+  (cond) ? (void)0                                                       \
+         : ::focus::internal_check::Voidify() &                          \
+               ::focus::internal_check::FatalMessage(__FILE__, __LINE__, \
+                                                     #cond)              \
+                   .stream()
+
+#define FOCUS_CHECK_OP(a, b, op) \
+  FOCUS_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define FOCUS_CHECK_EQ(a, b) FOCUS_CHECK_OP(a, b, ==)
+#define FOCUS_CHECK_NE(a, b) FOCUS_CHECK_OP(a, b, !=)
+#define FOCUS_CHECK_LT(a, b) FOCUS_CHECK_OP(a, b, <)
+#define FOCUS_CHECK_LE(a, b) FOCUS_CHECK_OP(a, b, <=)
+#define FOCUS_CHECK_GT(a, b) FOCUS_CHECK_OP(a, b, >)
+#define FOCUS_CHECK_GE(a, b) FOCUS_CHECK_OP(a, b, >=)
+
+#define FOCUS_FATAL(msg)                                               \
+  ::focus::internal_check::Voidify() &                                 \
+      ::focus::internal_check::FatalMessage(__FILE__, __LINE__, "")    \
+          .stream()                                                    \
+      << msg
+
+#endif  // FOCUS_UTILS_CHECK_H_

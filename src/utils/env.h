@@ -1,0 +1,25 @@
+// Environment-variable helpers used by the harness profiles.
+#ifndef FOCUS_UTILS_ENV_H_
+#define FOCUS_UTILS_ENV_H_
+
+#include <cstdlib>
+#include <string>
+
+namespace focus {
+
+inline std::string GetEnvOr(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::string(v) : fallback;
+}
+
+inline long GetEnvIntOr(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+}  // namespace focus
+
+#endif  // FOCUS_UTILS_ENV_H_

@@ -1,0 +1,39 @@
+// Lightweight leveled logging to stderr.
+#ifndef FOCUS_UTILS_LOGGING_H_
+#define FOCUS_UTILS_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace focus {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_log {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_log
+}  // namespace focus
+
+#define FOCUS_LOG(level)                                                  \
+  ::focus::internal_log::LogMessage(::focus::LogLevel::k##level, __FILE__, \
+                                    __LINE__)                              \
+      .stream()
+
+#endif  // FOCUS_UTILS_LOGGING_H_

@@ -1,0 +1,109 @@
+// Minimal Status / StatusOr for fallible operations (file I/O, parsing).
+// Modeled on the RocksDB / Abseil pattern: cheap value type, OK is the
+// common case, message carried only on error.
+#ifndef FOCUS_UTILS_STATUS_H_
+#define FOCUS_UTILS_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "utils/check.h"
+
+namespace focus {
+
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIoError,
+    kCorruption,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "UNKNOWN";
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kInvalidArgument: name = "INVALID_ARGUMENT"; break;
+      case Code::kNotFound: name = "NOT_FOUND"; break;
+      case Code::kIoError: name = "IO_ERROR"; break;
+      case Code::kCorruption: name = "CORRUPTION"; break;
+      case Code::kInternal: name = "INTERNAL"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+// Holds either a value or an error Status. value() aborts on error; callers
+// must test ok() on fallible paths.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    FOCUS_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    FOCUS_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    FOCUS_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    FOCUS_CHECK(ok()) << status_.ToString();
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace focus
+
+#define FOCUS_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::focus::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#endif  // FOCUS_UTILS_STATUS_H_

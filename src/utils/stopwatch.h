@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for harness timing reports.
+#ifndef FOCUS_UTILS_STOPWATCH_H_
+#define FOCUS_UTILS_STOPWATCH_H_
+
+#include <chrono>
+
+namespace focus {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace focus
+
+#endif  // FOCUS_UTILS_STOPWATCH_H_

@@ -1,0 +1,112 @@
+// Error-contract tests: programmer errors must abort with a diagnostic
+// (FOCUS_CHECK), never corrupt state or return garbage. Uses gtest death
+// tests.
+#include <gtest/gtest.h>
+
+#include "cluster/segment_clustering.h"
+#include "core/focus_model.h"
+#include "data/window.h"
+#include "nn/layers.h"
+#include "tensor/ops.h"
+
+namespace focus {
+namespace {
+
+using ContractsDeathTest = ::testing::Test;
+
+TEST(ContractsDeathTest, ShapeMismatchedAddAborts) {
+  Tensor a = Tensor::Ones({2, 3});
+  Tensor b = Tensor::Ones({2, 4});
+  EXPECT_DEATH(Add(a, b), "broadcast");
+}
+
+TEST(ContractsDeathTest, MatMulInnerDimMismatchAborts) {
+  Tensor a = Tensor::Ones({2, 3});
+  Tensor b = Tensor::Ones({4, 2});
+  EXPECT_DEATH(MatMul(a, b), "inner-dim mismatch");
+}
+
+TEST(ContractsDeathTest, ReshapeNumelMismatchAborts) {
+  Tensor a = Tensor::Ones({6});
+  EXPECT_DEATH(Reshape(a, {4}), "Reshape");
+}
+
+TEST(ContractsDeathTest, SliceOutOfRangeAborts) {
+  Tensor a = Tensor::Ones({4});
+  EXPECT_DEATH(Slice(a, 0, 2, 9), "out of range");
+}
+
+TEST(ContractsDeathTest, IndexSelectOutOfRangeAborts) {
+  Tensor a = Tensor::Ones({4, 2});
+  EXPECT_DEATH(IndexSelect(a, 0, {5}), "out of range");
+}
+
+TEST(ContractsDeathTest, ItemOnNonScalarAborts) {
+  Tensor a = Tensor::Ones({3});
+  EXPECT_DEATH(a.Item(), "non-scalar");
+}
+
+TEST(ContractsDeathTest, BackwardOnNonScalarAborts) {
+  Tensor a = Tensor::Ones({3});
+  a.SetRequiresGrad(true);
+  Tensor y = Mul(a, a);
+  EXPECT_DEATH(y.Backward(), "scalar");
+}
+
+TEST(ContractsDeathTest, BackwardWithoutGradAborts) {
+  Tensor a = Tensor::Ones({1});
+  EXPECT_DEATH(a.Backward(), "does not require grad");
+}
+
+TEST(ContractsDeathTest, UndefinedTensorAccessAborts) {
+  Tensor t;
+  EXPECT_DEATH(t.shape(), "check failed");
+}
+
+TEST(ContractsDeathTest, LinearWrongInputDimAborts) {
+  Rng rng(1);
+  nn::Linear lin(4, 2, rng);
+  EXPECT_DEATH(lin.Forward(Tensor::Ones({2, 5})), "expected last dim");
+}
+
+TEST(ContractsDeathTest, FocusLookbackMismatchAborts) {
+  Rng rng(2);
+  core::FocusConfig cfg;
+  cfg.lookback = 32;
+  cfg.horizon = 8;
+  cfg.num_entities = 2;
+  cfg.patch_len = 8;
+  cfg.d_model = 16;
+  cfg.readout_queries = 2;
+  core::FocusModel model(cfg, Tensor::Randn({4, 8}, rng));
+  EXPECT_DEATH(model.Forward(Tensor::Ones({1, 2, 64})), "check failed");
+}
+
+TEST(ContractsDeathTest, FocusPatchMustDivideLookback) {
+  Rng rng(3);
+  core::FocusConfig cfg;
+  cfg.lookback = 30;  // not divisible by 8
+  cfg.patch_len = 8;
+  cfg.num_entities = 2;
+  cfg.d_model = 16;
+  EXPECT_DEATH(core::FocusModel(cfg, Tensor::Randn({4, 8}, rng)),
+               "must divide");
+}
+
+TEST(ContractsDeathTest, WindowRangeTooShortAborts) {
+  Tensor values = Tensor::Ones({2, 20});
+  EXPECT_DEATH(data::WindowDataset(values, 16, 8, 0, 20), "range too short");
+}
+
+TEST(ContractsDeathTest, ClusteringNeedsEnoughSegments) {
+  Rng rng(4);
+  Tensor segments = Tensor::Randn({3, 8}, rng);
+  cluster::ClusteringConfig cfg;
+  cfg.segment_length = 8;
+  cfg.num_prototypes = 10;  // > segment count
+  EXPECT_DEATH(cluster::SegmentClustering(cfg).Fit(segments),
+               "at least k segments");
+}
+
+}  // namespace
+}  // namespace focus

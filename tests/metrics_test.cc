@@ -1,0 +1,85 @@
+// Tests for accuracy metrics and efficiency probes.
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/focus_model.h"
+#include "tensor/flops.h"
+
+namespace focus {
+namespace {
+
+TEST(MetricsTest, KnownValues) {
+  Tensor pred = Tensor::FromVector({4}, {1, 2, 3, 4});
+  Tensor truth = Tensor::FromVector({4}, {1, 1, 1, 1});
+  auto m = metrics::ComputeMetrics(pred, truth);
+  EXPECT_NEAR(m.mse, (0.0 + 1 + 4 + 9) / 4, 1e-9);
+  EXPECT_NEAR(m.mae, (0.0 + 1 + 2 + 3) / 4, 1e-9);
+  EXPECT_NEAR(m.rmse, std::sqrt(m.mse), 1e-9);
+  EXPECT_EQ(m.count, 4);
+}
+
+TEST(MetricsTest, PerfectPredictionIsZero) {
+  Tensor x = Tensor::FromVector({3}, {1, -2, 5});
+  auto m = metrics::ComputeMetrics(x, x.Clone());
+  EXPECT_EQ(m.mse, 0.0);
+  EXPECT_EQ(m.mae, 0.0);
+}
+
+TEST(MetricsTest, StreamingAccumulationMatchesOneShot) {
+  Rng rng(1);
+  Tensor p1 = Tensor::Randn({8}, rng), t1 = Tensor::Randn({8}, rng);
+  Tensor p2 = Tensor::Randn({8}, rng), t2 = Tensor::Randn({8}, rng);
+
+  metrics::ForecastMetrics streamed;
+  streamed.Accumulate(p1, t1);
+  streamed.Accumulate(p2, t2);
+  streamed.Finalize();
+
+  Tensor pall = Cat({p1, p2}, 0);
+  Tensor tall = Cat({t1, t2}, 0);
+  auto oneshot = metrics::ComputeMetrics(pall, tall);
+  EXPECT_NEAR(streamed.mse, oneshot.mse, 1e-9);
+  EXPECT_NEAR(streamed.mae, oneshot.mae, 1e-9);
+}
+
+TEST(EfficiencyTest, ProbeReportsPlausibleNumbers) {
+  Rng rng(2);
+  core::FocusConfig cfg;
+  cfg.lookback = 64;
+  cfg.horizon = 16;
+  cfg.num_entities = 3;
+  cfg.patch_len = 16;
+  cfg.d_model = 16;
+  cfg.readout_queries = 2;
+  core::FocusModel model(cfg, Tensor::Randn({4, 16}, rng));
+  Tensor sample = Tensor::Randn({1, 3, 64}, rng);
+  auto report = metrics::ProbeEfficiency(model, sample);
+  EXPECT_GT(report.flops, 0);
+  EXPECT_GT(report.peak_bytes, 0);
+  EXPECT_EQ(report.parameters, model.NumParameters());
+  EXPECT_GT(report.latency_ms, 0.0);
+  // The probe must not leave the model in eval mode.
+  EXPECT_TRUE(model.training());
+}
+
+TEST(EfficiencyTest, ProbeIsRepeatable) {
+  // FLOPs are deterministic; repeated probes must agree exactly.
+  Rng rng(3);
+  core::FocusConfig cfg;
+  cfg.lookback = 32;
+  cfg.horizon = 8;
+  cfg.num_entities = 2;
+  cfg.patch_len = 8;
+  cfg.d_model = 16;
+  cfg.readout_queries = 2;
+  core::FocusModel model(cfg, Tensor::Randn({4, 8}, rng));
+  Tensor sample = Tensor::Randn({1, 2, 32}, rng);
+  auto a = metrics::ProbeEfficiency(model, sample);
+  auto b = metrics::ProbeEfficiency(model, sample);
+  EXPECT_EQ(a.flops, b.flops);
+  EXPECT_EQ(a.parameters, b.parameters);
+}
+
+}  // namespace
+}  // namespace focus

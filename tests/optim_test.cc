@@ -1,0 +1,127 @@
+// Optimizer behaviour: convergence on convex problems, AdamW decoupled
+// decay, gradient clipping.
+#include "optim/optimizer.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "tensor/ops.h"
+
+namespace focus {
+namespace {
+
+// Minimizes ||x - target||^2 with the given optimizer; returns final loss.
+template <typename Opt, typename... Args>
+float MinimizeQuadratic(int steps, float lr, Args... args) {
+  Rng rng(77);
+  Tensor x = Tensor::Randn({8}, rng, 3.0f);
+  x.SetRequiresGrad(true);
+  Tensor target = Tensor::Arange(8);
+  Opt opt({x}, lr, args...);
+  float loss_val = 0.0f;
+  for (int i = 0; i < steps; ++i) {
+    opt.ZeroGrad();
+    Tensor loss = MseLoss(x, target);
+    loss.Backward();
+    opt.Step();
+    loss_val = loss.Item();
+  }
+  return loss_val;
+}
+
+TEST(OptimTest, SgdConvergesOnQuadratic) {
+  // MSE over 8 elements contracts by (1 - lr/4) per step.
+  EXPECT_LT(MinimizeQuadratic<optim::Sgd>(200, 0.5f), 1e-6f);
+}
+
+TEST(OptimTest, SgdMomentumConvergesFaster) {
+  const float plain = MinimizeQuadratic<optim::Sgd>(50, 0.05f);
+  const float momentum = MinimizeQuadratic<optim::Sgd>(50, 0.05f, 0.9f);
+  EXPECT_LT(momentum, plain);
+}
+
+TEST(OptimTest, AdamConvergesOnQuadratic) {
+  // Adam's per-coordinate step is bounded by ~lr, and targets are up to 7
+  // units away, so give it enough step budget.
+  EXPECT_LT(MinimizeQuadratic<optim::Adam>(600, 0.2f), 1e-3f);
+}
+
+TEST(OptimTest, AdamWConvergesOnQuadratic) {
+  // Small decay still converges near the target.
+  EXPECT_LT(MinimizeQuadratic<optim::AdamW>(600, 0.2f, 1e-4f), 1e-2f);
+}
+
+TEST(OptimTest, AdamWDecayIsDecoupledFromGradientScale) {
+  // With zero gradient, AdamW should still shrink weights, and the shrink
+  // factor per step must be exactly (1 - lr * wd) independent of any
+  // gradient history — the decoupling property.
+  Tensor w = Tensor::Full({4}, 2.0f);
+  w.SetRequiresGrad(true);
+  optim::AdamW opt({w}, /*lr=*/0.1f, /*weight_decay=*/0.5f);
+  // Manually install a zero gradient so Step() does not skip the param.
+  SumAll(MulScalar(w, 0.0f)).Backward();
+  opt.Step();
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(w.data()[i], 2.0f * (1.0f - 0.1f * 0.5f), 1e-5f);
+  }
+}
+
+TEST(OptimTest, StepSkipsParamsWithoutGrad) {
+  Tensor a = Tensor::Full({2}, 1.0f);
+  a.SetRequiresGrad(true);
+  Tensor b = Tensor::Full({2}, 1.0f);
+  b.SetRequiresGrad(true);
+  optim::Sgd opt({a, b}, 0.5f);
+  SumAll(a).Backward();  // only a gets a gradient
+  opt.Step();
+  EXPECT_NEAR(a.data()[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(b.data()[0], 1.0f, 1e-6f);
+}
+
+TEST(OptimTest, ClipGradNormScalesDown) {
+  Tensor a = Tensor::Full({4}, 1.0f);
+  a.SetRequiresGrad(true);
+  SumAll(MulScalar(a, 3.0f)).Backward();  // grad = 3 everywhere, norm = 6
+  const float pre = optim::ClipGradNorm({a}, 1.0f);
+  EXPECT_NEAR(pre, 6.0f, 1e-5f);
+  double sq = 0;
+  for (int64_t i = 0; i < 4; ++i) {
+    sq += a.Grad().data()[i] * a.Grad().data()[i];
+  }
+  EXPECT_NEAR(std::sqrt(sq), 1.0, 1e-5);
+}
+
+TEST(OptimTest, ClipGradNormNoOpWhenBelowThreshold) {
+  Tensor a = Tensor::Full({4}, 1.0f);
+  a.SetRequiresGrad(true);
+  SumAll(a).Backward();  // grad = 1 everywhere, norm = 2
+  optim::ClipGradNorm({a}, 10.0f);
+  EXPECT_NEAR(a.Grad().data()[0], 1.0f, 1e-6f);
+}
+
+TEST(OptimTest, TrainsLinearRegressionToKnownWeights) {
+  // y = 2x0 - 3x1 + 1; a Linear layer must recover the mapping.
+  Rng rng(123);
+  nn::Linear lin(2, 1, rng);
+  optim::AdamW opt(lin.Parameters(), 0.05f, /*weight_decay=*/0.0f);
+  Rng data_rng(321);
+  for (int step = 0; step < 500; ++step) {
+    Tensor x = Tensor::Randn({16, 2}, data_rng);
+    Tensor y = Tensor::Empty({16, 1});
+    for (int64_t i = 0; i < 16; ++i) {
+      y.data()[i] = 2.0f * x.At({i, 0}) - 3.0f * x.At({i, 1}) + 1.0f;
+    }
+    opt.ZeroGrad();
+    MseLoss(lin.Forward(x), y).Backward();
+    opt.Step();
+  }
+  const Tensor& w = lin.weight();
+  EXPECT_NEAR(w.At({0, 0}), 2.0f, 0.05f);
+  EXPECT_NEAR(w.At({1, 0}), -3.0f, 0.05f);
+}
+
+}  // namespace
+}  // namespace focus

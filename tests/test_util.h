@@ -1,0 +1,82 @@
+// Shared test helpers: numerical gradient checking and tensor comparisons.
+#ifndef FOCUS_TESTS_TEST_UTIL_H_
+#define FOCUS_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace focus {
+namespace testing {
+
+inline void ExpectTensorNear(const Tensor& a, const Tensor& b,
+                             double tol = 1e-5) {
+  ASSERT_TRUE(a.defined());
+  ASSERT_TRUE(b.defined());
+  ASSERT_EQ(a.shape(), b.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], tol) << "at flat index " << i;
+  }
+}
+
+// Verifies reverse-mode gradients of a scalar-valued function against
+// central finite differences, for every element of every parameter.
+//
+// `fn` must rebuild the computation from the current parameter values each
+// time it is called. Tolerances are sized for float32.
+inline void CheckGradients(const std::function<Tensor()>& fn,
+                           const std::vector<Tensor>& params,
+                           double eps = 1e-2, double rtol = 2e-2,
+                           double atol = 2e-3) {
+  // Analytic gradients.
+  for (const Tensor& p : params) {
+    Tensor mutable_p = p;
+    mutable_p.ZeroGrad();
+  }
+  Tensor loss = fn();
+  ASSERT_EQ(loss.numel(), 1) << "gradcheck needs a scalar loss";
+  loss.Backward();
+
+  std::vector<std::vector<float>> analytic;
+  for (const Tensor& p : params) {
+    Tensor g = p.Grad();
+    ASSERT_TRUE(g.defined()) << "parameter received no gradient";
+    analytic.push_back(g.ToVector());
+  }
+
+  // Numerical gradients.
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor p = params[pi];
+    for (int64_t i = 0; i < p.numel(); ++i) {
+      const float orig = p.data()[i];
+      p.data()[i] = orig + static_cast<float>(eps);
+      const double plus = [&] {
+        NoGradGuard ng;
+        return static_cast<double>(fn().Item());
+      }();
+      p.data()[i] = orig - static_cast<float>(eps);
+      const double minus = [&] {
+        NoGradGuard ng;
+        return static_cast<double>(fn().Item());
+      }();
+      p.data()[i] = orig;
+      const double numeric = (plus - minus) / (2.0 * eps);
+      const double exact = analytic[pi][static_cast<size_t>(i)];
+      const double err = std::fabs(numeric - exact);
+      const double scale = std::max(std::fabs(numeric), std::fabs(exact));
+      EXPECT_LE(err, atol + rtol * scale)
+          << "param " << pi << " element " << i << ": analytic " << exact
+          << " vs numeric " << numeric;
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace focus
+
+#endif  // FOCUS_TESTS_TEST_UTIL_H_
