@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_outliers.dir/bench_fig10_outliers.cc.o"
+  "CMakeFiles/bench_fig10_outliers.dir/bench_fig10_outliers.cc.o.d"
+  "bench_fig10_outliers"
+  "bench_fig10_outliers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_outliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

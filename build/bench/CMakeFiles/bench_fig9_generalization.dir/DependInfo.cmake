@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_generalization.cc" "bench/CMakeFiles/bench_fig9_generalization.dir/bench_fig9_generalization.cc.o" "gcc" "bench/CMakeFiles/bench_fig9_generalization.dir/bench_fig9_generalization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/focus_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/focus_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/focus_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/focus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/focus_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/focus_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/focus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/focus_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/focus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/utils/CMakeFiles/focus_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem1_lowrank.dir/bench_theorem1_lowrank.cc.o"
+  "CMakeFiles/bench_theorem1_lowrank.dir/bench_theorem1_lowrank.cc.o.d"
+  "bench_theorem1_lowrank"
+  "bench_theorem1_lowrank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem1_lowrank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efficiency_breakdown.dir/efficiency_breakdown.cpp.o"
+  "CMakeFiles/efficiency_breakdown.dir/efficiency_breakdown.cpp.o.d"
+  "efficiency_breakdown"
+  "efficiency_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efficiency_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

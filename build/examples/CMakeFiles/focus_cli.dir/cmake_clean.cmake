@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_cli.dir/focus_cli.cpp.o"
+  "CMakeFiles/focus_cli.dir/focus_cli.cpp.o.d"
+  "focus_cli"
+  "focus_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

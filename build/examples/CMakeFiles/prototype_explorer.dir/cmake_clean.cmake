@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prototype_explorer.dir/prototype_explorer.cpp.o"
+  "CMakeFiles/prototype_explorer.dir/prototype_explorer.cpp.o.d"
+  "prototype_explorer"
+  "prototype_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prototype_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

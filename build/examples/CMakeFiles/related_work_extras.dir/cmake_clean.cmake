@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_work_extras.dir/related_work_extras.cpp.o"
+  "CMakeFiles/related_work_extras.dir/related_work_extras.cpp.o.d"
+  "related_work_extras"
+  "related_work_extras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_work_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

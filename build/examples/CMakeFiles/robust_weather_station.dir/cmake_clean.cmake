@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_weather_station.dir/robust_weather_station.cpp.o"
+  "CMakeFiles/robust_weather_station.dir/robust_weather_station.cpp.o.d"
+  "robust_weather_station"
+  "robust_weather_station.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_weather_station.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/autoformer.cc" "src/baselines/CMakeFiles/focus_baselines.dir/autoformer.cc.o" "gcc" "src/baselines/CMakeFiles/focus_baselines.dir/autoformer.cc.o.d"
+  "/root/repo/src/baselines/crossformer.cc" "src/baselines/CMakeFiles/focus_baselines.dir/crossformer.cc.o" "gcc" "src/baselines/CMakeFiles/focus_baselines.dir/crossformer.cc.o.d"
+  "/root/repo/src/baselines/dlinear.cc" "src/baselines/CMakeFiles/focus_baselines.dir/dlinear.cc.o" "gcc" "src/baselines/CMakeFiles/focus_baselines.dir/dlinear.cc.o.d"
+  "/root/repo/src/baselines/graph_models.cc" "src/baselines/CMakeFiles/focus_baselines.dir/graph_models.cc.o" "gcc" "src/baselines/CMakeFiles/focus_baselines.dir/graph_models.cc.o.d"
+  "/root/repo/src/baselines/informer.cc" "src/baselines/CMakeFiles/focus_baselines.dir/informer.cc.o" "gcc" "src/baselines/CMakeFiles/focus_baselines.dir/informer.cc.o.d"
+  "/root/repo/src/baselines/lightcts.cc" "src/baselines/CMakeFiles/focus_baselines.dir/lightcts.cc.o" "gcc" "src/baselines/CMakeFiles/focus_baselines.dir/lightcts.cc.o.d"
+  "/root/repo/src/baselines/patch_tst.cc" "src/baselines/CMakeFiles/focus_baselines.dir/patch_tst.cc.o" "gcc" "src/baselines/CMakeFiles/focus_baselines.dir/patch_tst.cc.o.d"
+  "/root/repo/src/baselines/timesnet.cc" "src/baselines/CMakeFiles/focus_baselines.dir/timesnet.cc.o" "gcc" "src/baselines/CMakeFiles/focus_baselines.dir/timesnet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/focus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/focus_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/focus_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/focus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/focus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/utils/CMakeFiles/focus_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_baselines.dir/autoformer.cc.o"
+  "CMakeFiles/focus_baselines.dir/autoformer.cc.o.d"
+  "CMakeFiles/focus_baselines.dir/crossformer.cc.o"
+  "CMakeFiles/focus_baselines.dir/crossformer.cc.o.d"
+  "CMakeFiles/focus_baselines.dir/dlinear.cc.o"
+  "CMakeFiles/focus_baselines.dir/dlinear.cc.o.d"
+  "CMakeFiles/focus_baselines.dir/graph_models.cc.o"
+  "CMakeFiles/focus_baselines.dir/graph_models.cc.o.d"
+  "CMakeFiles/focus_baselines.dir/informer.cc.o"
+  "CMakeFiles/focus_baselines.dir/informer.cc.o.d"
+  "CMakeFiles/focus_baselines.dir/lightcts.cc.o"
+  "CMakeFiles/focus_baselines.dir/lightcts.cc.o.d"
+  "CMakeFiles/focus_baselines.dir/patch_tst.cc.o"
+  "CMakeFiles/focus_baselines.dir/patch_tst.cc.o.d"
+  "CMakeFiles/focus_baselines.dir/timesnet.cc.o"
+  "CMakeFiles/focus_baselines.dir/timesnet.cc.o.d"
+  "libfocus_baselines.a"
+  "libfocus_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_core.dir/focus_model.cc.o"
+  "CMakeFiles/focus_core.dir/focus_model.cc.o.d"
+  "CMakeFiles/focus_core.dir/offline.cc.o"
+  "CMakeFiles/focus_core.dir/offline.cc.o.d"
+  "CMakeFiles/focus_core.dir/proto_attn.cc.o"
+  "CMakeFiles/focus_core.dir/proto_attn.cc.o.d"
+  "libfocus_core.a"
+  "libfocus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/focus_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/focus_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/focus_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/focus_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/impute.cc" "src/data/CMakeFiles/focus_data.dir/impute.cc.o" "gcc" "src/data/CMakeFiles/focus_data.dir/impute.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/data/CMakeFiles/focus_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/focus_data.dir/io.cc.o.d"
+  "/root/repo/src/data/perturb.cc" "src/data/CMakeFiles/focus_data.dir/perturb.cc.o" "gcc" "src/data/CMakeFiles/focus_data.dir/perturb.cc.o.d"
+  "/root/repo/src/data/registry.cc" "src/data/CMakeFiles/focus_data.dir/registry.cc.o" "gcc" "src/data/CMakeFiles/focus_data.dir/registry.cc.o.d"
+  "/root/repo/src/data/window.cc" "src/data/CMakeFiles/focus_data.dir/window.cc.o" "gcc" "src/data/CMakeFiles/focus_data.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/focus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/utils/CMakeFiles/focus_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

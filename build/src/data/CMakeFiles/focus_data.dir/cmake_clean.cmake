@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_data.dir/dataset.cc.o"
+  "CMakeFiles/focus_data.dir/dataset.cc.o.d"
+  "CMakeFiles/focus_data.dir/generator.cc.o"
+  "CMakeFiles/focus_data.dir/generator.cc.o.d"
+  "CMakeFiles/focus_data.dir/impute.cc.o"
+  "CMakeFiles/focus_data.dir/impute.cc.o.d"
+  "CMakeFiles/focus_data.dir/io.cc.o"
+  "CMakeFiles/focus_data.dir/io.cc.o.d"
+  "CMakeFiles/focus_data.dir/perturb.cc.o"
+  "CMakeFiles/focus_data.dir/perturb.cc.o.d"
+  "CMakeFiles/focus_data.dir/registry.cc.o"
+  "CMakeFiles/focus_data.dir/registry.cc.o.d"
+  "CMakeFiles/focus_data.dir/window.cc.o"
+  "CMakeFiles/focus_data.dir/window.cc.o.d"
+  "libfocus_data.a"
+  "libfocus_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

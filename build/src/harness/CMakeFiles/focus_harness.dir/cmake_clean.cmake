@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_harness.dir/ascii_plot.cc.o"
+  "CMakeFiles/focus_harness.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/focus_harness.dir/experiments.cc.o"
+  "CMakeFiles/focus_harness.dir/experiments.cc.o.d"
+  "CMakeFiles/focus_harness.dir/rolling.cc.o"
+  "CMakeFiles/focus_harness.dir/rolling.cc.o.d"
+  "CMakeFiles/focus_harness.dir/trainer.cc.o"
+  "CMakeFiles/focus_harness.dir/trainer.cc.o.d"
+  "libfocus_harness.a"
+  "libfocus_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

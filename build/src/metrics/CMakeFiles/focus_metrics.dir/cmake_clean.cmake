@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_metrics.dir/metrics.cc.o"
+  "CMakeFiles/focus_metrics.dir/metrics.cc.o.d"
+  "libfocus_metrics.a"
+  "libfocus_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

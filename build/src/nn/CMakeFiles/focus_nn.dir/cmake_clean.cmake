@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_nn.dir/attention.cc.o"
+  "CMakeFiles/focus_nn.dir/attention.cc.o.d"
+  "CMakeFiles/focus_nn.dir/layers.cc.o"
+  "CMakeFiles/focus_nn.dir/layers.cc.o.d"
+  "CMakeFiles/focus_nn.dir/module.cc.o"
+  "CMakeFiles/focus_nn.dir/module.cc.o.d"
+  "CMakeFiles/focus_nn.dir/serialize.cc.o"
+  "CMakeFiles/focus_nn.dir/serialize.cc.o.d"
+  "libfocus_nn.a"
+  "libfocus_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

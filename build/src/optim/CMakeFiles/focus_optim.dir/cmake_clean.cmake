@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_optim.dir/optimizer.cc.o"
+  "CMakeFiles/focus_optim.dir/optimizer.cc.o.d"
+  "CMakeFiles/focus_optim.dir/scheduler.cc.o"
+  "CMakeFiles/focus_optim.dir/scheduler.cc.o.d"
+  "libfocus_optim.a"
+  "libfocus_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

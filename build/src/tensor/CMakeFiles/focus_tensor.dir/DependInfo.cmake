@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/autograd.cc" "src/tensor/CMakeFiles/focus_tensor.dir/autograd.cc.o" "gcc" "src/tensor/CMakeFiles/focus_tensor.dir/autograd.cc.o.d"
+  "/root/repo/src/tensor/fft.cc" "src/tensor/CMakeFiles/focus_tensor.dir/fft.cc.o" "gcc" "src/tensor/CMakeFiles/focus_tensor.dir/fft.cc.o.d"
+  "/root/repo/src/tensor/flops.cc" "src/tensor/CMakeFiles/focus_tensor.dir/flops.cc.o" "gcc" "src/tensor/CMakeFiles/focus_tensor.dir/flops.cc.o.d"
+  "/root/repo/src/tensor/memory.cc" "src/tensor/CMakeFiles/focus_tensor.dir/memory.cc.o" "gcc" "src/tensor/CMakeFiles/focus_tensor.dir/memory.cc.o.d"
+  "/root/repo/src/tensor/ops_common.cc" "src/tensor/CMakeFiles/focus_tensor.dir/ops_common.cc.o" "gcc" "src/tensor/CMakeFiles/focus_tensor.dir/ops_common.cc.o.d"
+  "/root/repo/src/tensor/ops_conv.cc" "src/tensor/CMakeFiles/focus_tensor.dir/ops_conv.cc.o" "gcc" "src/tensor/CMakeFiles/focus_tensor.dir/ops_conv.cc.o.d"
+  "/root/repo/src/tensor/ops_elementwise.cc" "src/tensor/CMakeFiles/focus_tensor.dir/ops_elementwise.cc.o" "gcc" "src/tensor/CMakeFiles/focus_tensor.dir/ops_elementwise.cc.o.d"
+  "/root/repo/src/tensor/ops_matmul.cc" "src/tensor/CMakeFiles/focus_tensor.dir/ops_matmul.cc.o" "gcc" "src/tensor/CMakeFiles/focus_tensor.dir/ops_matmul.cc.o.d"
+  "/root/repo/src/tensor/ops_reduce.cc" "src/tensor/CMakeFiles/focus_tensor.dir/ops_reduce.cc.o" "gcc" "src/tensor/CMakeFiles/focus_tensor.dir/ops_reduce.cc.o.d"
+  "/root/repo/src/tensor/ops_shape.cc" "src/tensor/CMakeFiles/focus_tensor.dir/ops_shape.cc.o" "gcc" "src/tensor/CMakeFiles/focus_tensor.dir/ops_shape.cc.o.d"
+  "/root/repo/src/tensor/ops_softmax.cc" "src/tensor/CMakeFiles/focus_tensor.dir/ops_softmax.cc.o" "gcc" "src/tensor/CMakeFiles/focus_tensor.dir/ops_softmax.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/tensor/CMakeFiles/focus_tensor.dir/tensor.cc.o" "gcc" "src/tensor/CMakeFiles/focus_tensor.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/utils/CMakeFiles/focus_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

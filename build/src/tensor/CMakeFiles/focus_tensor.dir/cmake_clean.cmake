@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_tensor.dir/autograd.cc.o"
+  "CMakeFiles/focus_tensor.dir/autograd.cc.o.d"
+  "CMakeFiles/focus_tensor.dir/fft.cc.o"
+  "CMakeFiles/focus_tensor.dir/fft.cc.o.d"
+  "CMakeFiles/focus_tensor.dir/flops.cc.o"
+  "CMakeFiles/focus_tensor.dir/flops.cc.o.d"
+  "CMakeFiles/focus_tensor.dir/memory.cc.o"
+  "CMakeFiles/focus_tensor.dir/memory.cc.o.d"
+  "CMakeFiles/focus_tensor.dir/ops_common.cc.o"
+  "CMakeFiles/focus_tensor.dir/ops_common.cc.o.d"
+  "CMakeFiles/focus_tensor.dir/ops_conv.cc.o"
+  "CMakeFiles/focus_tensor.dir/ops_conv.cc.o.d"
+  "CMakeFiles/focus_tensor.dir/ops_elementwise.cc.o"
+  "CMakeFiles/focus_tensor.dir/ops_elementwise.cc.o.d"
+  "CMakeFiles/focus_tensor.dir/ops_matmul.cc.o"
+  "CMakeFiles/focus_tensor.dir/ops_matmul.cc.o.d"
+  "CMakeFiles/focus_tensor.dir/ops_reduce.cc.o"
+  "CMakeFiles/focus_tensor.dir/ops_reduce.cc.o.d"
+  "CMakeFiles/focus_tensor.dir/ops_shape.cc.o"
+  "CMakeFiles/focus_tensor.dir/ops_shape.cc.o.d"
+  "CMakeFiles/focus_tensor.dir/ops_softmax.cc.o"
+  "CMakeFiles/focus_tensor.dir/ops_softmax.cc.o.d"
+  "CMakeFiles/focus_tensor.dir/tensor.cc.o"
+  "CMakeFiles/focus_tensor.dir/tensor.cc.o.d"
+  "libfocus_tensor.a"
+  "libfocus_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_utils.dir/flags.cc.o"
+  "CMakeFiles/focus_utils.dir/flags.cc.o.d"
+  "CMakeFiles/focus_utils.dir/logging.cc.o"
+  "CMakeFiles/focus_utils.dir/logging.cc.o.d"
+  "CMakeFiles/focus_utils.dir/table.cc.o"
+  "CMakeFiles/focus_utils.dir/table.cc.o.d"
+  "libfocus_utils.a"
+  "libfocus_utils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

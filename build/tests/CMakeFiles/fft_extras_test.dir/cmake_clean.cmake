@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_extras_test.dir/fft_extras_test.cc.o"
+  "CMakeFiles/fft_extras_test.dir/fft_extras_test.cc.o.d"
+  "fft_extras_test"
+  "fft_extras_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

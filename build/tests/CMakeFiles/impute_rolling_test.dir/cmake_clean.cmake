@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impute_rolling_test.dir/impute_rolling_test.cc.o"
+  "CMakeFiles/impute_rolling_test.dir/impute_rolling_test.cc.o.d"
+  "impute_rolling_test"
+  "impute_rolling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impute_rolling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
