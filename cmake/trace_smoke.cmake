@@ -1,0 +1,57 @@
+# Runs the quickstart example with FOCUS_TRACE set and asserts the trace
+# file is non-empty, structurally JSON, and contains the core spans with
+# their cost attributes. Invoked by the quickstart_trace_smoke ctest target:
+#   cmake -DQUICKSTART_BIN=... -DTRACE_FILE=... -P trace_smoke.cmake
+if(NOT DEFINED QUICKSTART_BIN OR NOT DEFINED TRACE_FILE)
+  message(FATAL_ERROR "trace_smoke.cmake needs -DQUICKSTART_BIN and -DTRACE_FILE")
+endif()
+
+file(REMOVE "${TRACE_FILE}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "FOCUS_TRACE=${TRACE_FILE}" "${QUICKSTART_BIN}"
+  RESULT_VARIABLE run_result
+  OUTPUT_VARIABLE run_output
+  ERROR_VARIABLE run_output
+)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "quickstart failed (${run_result}):\n${run_output}")
+endif()
+
+if(NOT EXISTS "${TRACE_FILE}")
+  message(FATAL_ERROR "no trace written to ${TRACE_FILE}")
+endif()
+file(READ "${TRACE_FILE}" trace)
+string(LENGTH "${trace}" trace_len)
+if(trace_len EQUAL 0)
+  message(FATAL_ERROR "trace file ${TRACE_FILE} is empty")
+endif()
+
+string(STRIP "${trace}" stripped)
+string(SUBSTRING "${stripped}" 0 1 first_char)
+if(NOT first_char STREQUAL "{")
+  message(FATAL_ERROR "trace does not start with '{': ${first_char}")
+endif()
+string(LENGTH "${stripped}" stripped_len)
+math(EXPR last_index "${stripped_len} - 1")
+string(SUBSTRING "${stripped}" ${last_index} 1 last_char)
+if(NOT last_char STREQUAL "}")
+  message(FATAL_ERROR "trace does not end with '}': ${last_char}")
+endif()
+
+foreach(needle
+    "\"traceEvents\""
+    "train_step"
+    "focus/proto_attn"
+    "focus/fusion"
+    "cluster/assign"
+    "\"flops\""
+    "\"peak_bytes\""
+    "\"wall_us\"")
+  string(FIND "${trace}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "trace is missing ${needle}")
+  endif()
+endforeach()
+
+file(REMOVE "${TRACE_FILE}")
+message(STATUS "trace smoke OK (${trace_len} bytes)")

@@ -1,12 +1,18 @@
 // Where do FOCUS's FLOPs go? Splits one inference pass into the embed /
-// temporal-branch / entity-branch / fusion stages via FlopRegion
-// attribution, across input lengths — the per-component view behind the
-// paper's complexity analysis (Secs. VI-B, VII-B).
+// temporal-branch / entity-branch / proto-attn / fusion stages via
+// obs::TraceSpan attribution, across input lengths — the per-component view
+// behind the paper's complexity analysis (Secs. VI-B, VII-B).
+//
+// Each stage's `self_flops` excludes nested spans, so the columns add up to
+// the total without double counting (proto_attn runs inside the branches).
+// Pass FOCUS_TRACE=breakdown.json to additionally dump the raw spans for
+// chrome://tracing / Perfetto.
 //
 // Build & run:  cmake --build build && ./build/examples/efficiency_breakdown
 #include <cstdio>
 
 #include "core/focus_model.h"
+#include "obs/trace.h"
 #include "tensor/flops.h"
 #include "utils/table.h"
 
@@ -16,10 +22,13 @@ int main() {
   const int64_t entities = 8, patch = 16, k = 16;
   Tensor prototypes = Tensor::Randn({k, patch}, rng);
 
+  auto& tracer = obs::Tracer::Get();
+  tracer.Enable();
+
   std::printf("=== FOCUS per-stage FLOP breakdown (batch 1, N=%ld) ===\n",
               static_cast<long>(entities));
-  Table table({"L", "embed(M)", "temporal(M)", "entity(M)", "fusion(M)",
-               "other(M)", "total(M)"});
+  Table table({"L", "embed(M)", "temporal(M)", "entity(M)", "proto_attn(M)",
+               "fusion(M)", "other(M)", "total(M)"});
   for (int64_t length : {128, 256, 512, 1024}) {
     core::FocusConfig cfg;
     cfg.lookback = length;
@@ -35,21 +44,24 @@ int main() {
     Tensor x = Tensor::Randn({1, entities, length}, rng);
     NoGradGuard no_grad;
     FlopCounter::Reset();
+    tracer.Clear();
     model.Forward(x);
 
-    double embed = 0, temporal = 0, entity = 0, fusion = 0;
-    for (const auto& [region, flops] : FlopCounter::Breakdown()) {
-      if (region == "embed") embed += flops;
-      if (region == "temporal_branch") temporal += flops;
-      if (region == "entity_branch") entity += flops;
-      if (region == "fusion") fusion += flops;
+    double embed = 0, temporal = 0, entity = 0, proto = 0, fusion = 0;
+    for (const auto& [name, stats] : obs::AggregateSpans(tracer.Snapshot())) {
+      const double self = static_cast<double>(stats.self_flops);
+      if (name == "focus/embed") embed += self;
+      if (name == "focus/temporal_branch") temporal += self;
+      if (name == "focus/entity_branch") entity += self;
+      if (name == "focus/proto_attn") proto += self;
+      if (name == "focus/fusion") fusion += self;
     }
     const double total = static_cast<double>(FlopCounter::Count());
-    const double other = total - embed - temporal - entity - fusion;
+    const double other = total - embed - temporal - entity - proto - fusion;
     table.AddRow({std::to_string(length), Table::Num(embed / 1e6, 2),
                   Table::Num(temporal / 1e6, 2), Table::Num(entity / 1e6, 2),
-                  Table::Num(fusion / 1e6, 2), Table::Num(other / 1e6, 2),
-                  Table::Num(total / 1e6, 2)});
+                  Table::Num(proto / 1e6, 2), Table::Num(fusion / 1e6, 2),
+                  Table::Num(other / 1e6, 2), Table::Num(total / 1e6, 2)});
   }
   std::printf("%s", table.ToAscii().c_str());
   std::printf(

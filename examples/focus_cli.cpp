@@ -25,6 +25,7 @@
 #include "harness/ascii_plot.h"
 #include "harness/experiments.h"
 #include "nn/serialize.h"
+#include "obs/trace.h"
 #include "utils/flags.h"
 
 namespace {
@@ -51,7 +52,12 @@ int Usage() {
       "[--lookback=192] [--horizon=96]\n"
       "  forecast --data=FILE --prototypes=FILE --model=FILE "
       "[--lookback=192] [--horizon=96]\n"
-      "           [--entity=0] [--window=-1]\n");
+      "           [--entity=0] [--window=-1]\n"
+      "common flags:\n"
+      "  --trace[=FILE]              write a span trace on exit "
+      "(default trace.json)\n"
+      "  --trace-format=chrome|jsonl override the format inferred from the "
+      "file suffix\n");
   return 2;
 }
 
@@ -241,6 +247,7 @@ int RunForecast(const FlagParser& flags) {
 
 int main(int argc, char** argv) {
   FlagParser flags(argc, argv);
+  obs::ApplyTraceFlag(flags);
   if (flags.positional().empty()) return Usage();
   const std::string& command = flags.positional()[0];
   if (command == "generate") return RunGenerate(flags);

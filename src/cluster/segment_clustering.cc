@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <cstring>
 #include <limits>
+#include <optional>
 
+#include "obs/trace.h"
 #include "utils/check.h"
 #include "utils/stopwatch.h"
 
@@ -86,6 +88,7 @@ SegmentClustering::SegmentClustering(ClusteringConfig config)
 std::vector<int64_t> SegmentClustering::Assign(const Tensor& segments,
                                                const Tensor& prototypes,
                                                float alpha) {
+  obs::TraceSpan span("cluster/assign");
   FOCUS_CHECK_EQ(segments.dim(), 2);
   FOCUS_CHECK_EQ(prototypes.dim(), 2);
   const int64_t p = segments.size(1);
@@ -152,6 +155,7 @@ Tensor SegmentClustering::InitPrototypes(const Tensor& segments,
 double SegmentClustering::Objective(
     const Tensor& segments, const Tensor& prototypes,
     const std::vector<int64_t>& assignments) const {
+  obs::TraceSpan span("cluster/objective");
   const int64_t n = segments.size(0), p = segments.size(1);
   const int64_t k = prototypes.size(0);
   const float alpha = config_.use_correlation ? config_.alpha : 0.0f;
@@ -202,6 +206,7 @@ ClusteringResult SegmentClustering::Fit(const Tensor& segments) {
   const float alpha = config_.use_correlation ? config_.alpha : 0.0f;
 
   Stopwatch timer;
+  obs::TraceSpan fit_span("cluster/fit");
   Rng rng(config_.seed);
   ClusteringResult result;
   result.prototypes = InitPrototypes(segments, rng);
@@ -220,6 +225,10 @@ ClusteringResult SegmentClustering::Fit(const Tensor& segments) {
     // --- Assignment step (Eq. 6 / lines 8-11 of Algorithm 1). ---
     result.assignments = Assign(segments, prototypes, alpha);
 
+    // --- Update: bucket statistics + prototype refinement. The span is
+    // closed explicitly before the objective evaluation below.
+    std::optional<obs::TraceSpan> update_span;
+    update_span.emplace("cluster/update");
     // Bucket statistics.
     std::vector<double> bucket_mean(static_cast<size_t>(k * p), 0.0);
     std::vector<int64_t> count(static_cast<size_t>(k), 0);
@@ -336,6 +345,7 @@ ClusteringResult SegmentClustering::Fit(const Tensor& segments) {
             config_.lr * (m / bc1) / (std::sqrt(v / bc2) + eps);
       }
     }
+    update_span.reset();
 
     result.iterations = iter + 1;
     const double objective = Objective(segments, prototypes,

@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "data/instance_norm.h"
-#include "tensor/flops.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace focus {
@@ -182,13 +182,13 @@ Tensor FocusModel::Forward(const Tensor& x) {
   Tensor raw_t = Reshape(xn, {b * n, l, p});
   Tensor emb_t;
   {
-    FlopRegion region("embed");
+    obs::TraceSpan span("focus/embed");
     emb_t = embed_->Forward(raw_t);                      // (b*n, l, d)
     if (config_.positional_embedding) emb_t = Add(emb_t, temporal_pos_);
   }
   Tensor h_t;
   {
-    FlopRegion region("temporal_branch");
+    obs::TraceSpan span("focus/temporal_branch");
     h_t = ExtractFeatures(raw_t, emb_t, /*temporal=*/true);
   }
 
@@ -200,13 +200,13 @@ Tensor FocusModel::Forward(const Tensor& x) {
       << "input entity count differs from the configured model";
   Tensor emb_e;
   {
-    FlopRegion region("embed");
+    obs::TraceSpan span("focus/embed");
     emb_e = embed_->Forward(raw_e);                      // (b*l, n, d)
     if (config_.positional_embedding) emb_e = Add(emb_e, entity_pos_);
   }
   Tensor h_e;
   {
-    FlopRegion region("entity_branch");
+    obs::TraceSpan span("focus/entity_branch");
     h_e = ExtractFeatures(raw_e, emb_e, /*temporal=*/false);
   }
 
@@ -217,7 +217,7 @@ Tensor FocusModel::Forward(const Tensor& x) {
 
   Tensor forecast;
   {
-    FlopRegion region("fusion");
+    obs::TraceSpan span("focus/fusion");
     forecast = Fuse(h_t, h_e);                           // (b*n, Lf)
   }
   forecast = Reshape(forecast, {b, n, config_.horizon});

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "cluster/segment_clustering.h"
+#include "obs/trace.h"
 #include "tensor/flops.h"
 #include "tensor/ops.h"
 
@@ -73,6 +74,7 @@ std::vector<int64_t> ProtoAttn::AssignTokens(const Tensor& tokens_raw) const {
 }
 
 Tensor ProtoAttn::Forward(const Tensor& tokens_raw, const Tensor& tokens_emb) {
+  obs::TraceSpan span("focus/proto_attn");
   FOCUS_CHECK_EQ(tokens_emb.dim(), 3);
   FOCUS_CHECK_EQ(tokens_emb.size(-1), d_model_);
   const int64_t b = tokens_emb.size(0), l = tokens_emb.size(1);

@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "nn/serialize.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "optim/optimizer.h"
 #include "optim/scheduler.h"
 #include "tensor/ops.h"
@@ -21,6 +23,10 @@ TrainResult TrainModel(ForecastModel& model, const data::WindowDataset& train,
                                 config.lr * 0.1f);
   model.SetTraining(true);
 
+  // Step-time percentiles describe this run only.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  registry.ResetHistogram("train/step_ms");
+
   TrainResult result;
   result.best_val_mse = std::numeric_limits<double>::max();
   std::vector<std::vector<float>> best_snapshot;
@@ -34,16 +40,27 @@ TrainResult TrainModel(ForecastModel& model, const data::WindowDataset& train,
     for (const auto& indices : batches) {
       if (step >= config.max_steps) break;
       if (config.cosine_schedule) schedule.Apply(opt, step);
-      data::Batch batch = train.GetBatch(indices);
-      opt.ZeroGrad();
-      Tensor loss = MseLoss(model.Forward(batch.x), batch.y);
-      const float loss_val = loss.Item();
+      Stopwatch step_timer;
+      float loss_val = 0.0f;
+      float grad_norm = 0.0f;
+      {
+        obs::TraceSpan span("train_step");
+        data::Batch batch = train.GetBatch(indices);
+        opt.ZeroGrad();
+        Tensor loss = MseLoss(model.Forward(batch.x), batch.y);
+        loss_val = loss.Item();
+        loss.Backward();
+        grad_norm = optim::ClipGradNorm(opt.params(), config.clip_norm);
+        opt.Step();
+      }
       if (step == 0) result.first_loss = loss_val;
       result.final_loss = loss_val;
-      loss.Backward();
-      optim::ClipGradNorm(opt.params(), config.clip_norm);
-      opt.Step();
       ++step;
+      registry.Observe("train/step_ms", step_timer.ElapsedMillis());
+      registry.AddCounter("train/steps");
+      registry.SetGauge("train/loss", loss_val);
+      registry.SetGauge("train/grad_norm", grad_norm);
+      registry.SetGauge("train/lr", opt.lr());
       if (config.verbose && step % 10 == 0) {
         FOCUS_LOG(Info) << model.name() << " step " << step << " loss "
                         << loss_val;
@@ -70,6 +87,14 @@ TrainResult TrainModel(ForecastModel& model, const data::WindowDataset& train,
   }
   result.steps = step;
   result.seconds = timer.ElapsedSeconds();
+  const auto step_ms = registry.Summarize("train/step_ms");
+  result.step_ms_p50 = step_ms.p50;
+  result.step_ms_p95 = step_ms.p95;
+  if (config.verbose) {
+    FOCUS_LOG(Info) << model.name() << " step time p50 " << result.step_ms_p50
+                    << " ms, p95 " << result.step_ms_p95 << " ms over "
+                    << result.steps << " steps";
+  }
   return result;
 }
 
@@ -77,25 +102,39 @@ metrics::ForecastMetrics EvaluateModel(ForecastModel& model,
                                        const data::WindowDataset& windows,
                                        int64_t batch_size, int64_t stride) {
   FOCUS_CHECK_GT(stride, 0);
+  obs::TraceSpan span("eval");
+  Stopwatch timer;
   const bool was_training = model.training();
   model.SetTraining(false);
   NoGradGuard no_grad;
   metrics::ForecastMetrics metrics;
+  int64_t windows_evaluated = 0;
   std::vector<int64_t> indices;
   for (int64_t w = 0; w < windows.NumWindows(); w += stride) {
     indices.push_back(w);
     if (static_cast<int64_t>(indices.size()) == batch_size) {
       data::Batch batch = windows.GetBatch(indices);
       metrics.Accumulate(model.Forward(batch.x), batch.y);
+      windows_evaluated += static_cast<int64_t>(indices.size());
       indices.clear();
     }
   }
   if (!indices.empty()) {
     data::Batch batch = windows.GetBatch(indices);
     metrics.Accumulate(model.Forward(batch.x), batch.y);
+    windows_evaluated += static_cast<int64_t>(indices.size());
   }
   metrics.Finalize();
   model.SetTraining(was_training);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  registry.AddCounter("eval/windows", windows_evaluated);
+  registry.SetGauge("eval/mse", metrics.mse);
+  registry.SetGauge("eval/mae", metrics.mae);
+  const double seconds = timer.ElapsedSeconds();
+  if (seconds > 0.0) {
+    registry.SetGauge("eval/windows_per_sec",
+                      static_cast<double>(windows_evaluated) / seconds);
+  }
   return metrics;
 }
 

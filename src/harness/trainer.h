@@ -32,6 +32,10 @@ struct TrainResult {
   float final_loss = 0.0f;
   int64_t steps = 0;
   double seconds = 0.0;
+  // Per-step wall-clock percentiles, sourced from the obs::MetricsRegistry
+  // "train/step_ms" histogram (reset at the start of each TrainModel call).
+  double step_ms_p50 = 0.0;
+  double step_ms_p95 = 0.0;
   // Populated when TrainConfig::val is set.
   double best_val_mse = 0.0;
   bool early_stopped = false;

@@ -1,0 +1,66 @@
+// Named runtime metrics: counters, gauges, and histograms.
+//
+// The registry collects scalar telemetry the training / evaluation loops
+// emit (step loss, grad norm, learning rate, eval MSE/MAE, windows/sec,
+// per-step latency) independently of whether span tracing is enabled. It is
+// exported alongside the spans by obs::Tracer::Flush() and queried directly
+// by the harness (e.g. TrainResult's p50/p95 step time comes from the
+// "train/step_ms" histogram).
+#ifndef FOCUS_OBS_METRICS_REGISTRY_H_
+#define FOCUS_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace focus {
+namespace obs {
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  // Monotonic counter (events, steps, windows).
+  void AddCounter(const std::string& name, int64_t delta = 1);
+  int64_t CounterValue(const std::string& name) const;
+
+  // Last-value gauge (loss, learning rate, eval MSE).
+  void SetGauge(const std::string& name, double value);
+  double GaugeValue(const std::string& name) const;
+
+  // Distribution sample (per-step milliseconds, grad norms).
+  void Observe(const std::string& name, double value);
+
+  struct HistogramSummary {
+    int64_t count = 0;
+    double min = 0.0, max = 0.0, mean = 0.0, p50 = 0.0, p95 = 0.0;
+  };
+  // Nearest-rank percentiles over all recorded samples; zeros when empty.
+  HistogramSummary Summarize(const std::string& name) const;
+
+  // Snapshots in first-use order, for export.
+  std::vector<std::pair<std::string, int64_t>> Counters() const;
+  std::vector<std::pair<std::string, double>> Gauges() const;
+  std::vector<std::pair<std::string, HistogramSummary>> Histograms() const;
+
+  // Drops one histogram's samples (a training run resets its step-time
+  // distribution so percentiles describe that run only).
+  void ResetHistogram(const std::string& name);
+  // Drops everything.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, int64_t>> counters_;
+  std::vector<std::pair<std::string, double>> gauges_;
+  std::vector<std::pair<std::string, std::vector<double>>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace focus
+
+#endif  // FOCUS_OBS_METRICS_REGISTRY_H_

@@ -50,10 +50,21 @@ std::vector<std::pair<std::string, int64_t>> FlopCounter::Breakdown() {
   return out;
 }
 
-FlopRegion::FlopRegion(const char* name) : previous_(g_region) {
+namespace internal_flops {
+
+const char* SetRegion(const char* name) {
+  const char* previous = g_region;
   g_region = name;
+  return previous;
 }
 
-FlopRegion::~FlopRegion() { g_region = previous_; }
+const char* CurrentRegion() { return g_region; }
+
+}  // namespace internal_flops
+
+FlopRegion::FlopRegion(const char* name)
+    : previous_(internal_flops::SetRegion(name)) {}
+
+FlopRegion::~FlopRegion() { internal_flops::SetRegion(previous_); }
 
 }  // namespace focus

@@ -25,9 +25,21 @@ struct FlopCounter {
   static std::vector<std::pair<std::string, int64_t>> Breakdown();
 };
 
+namespace internal_flops {
+// Swaps the active attribution region and returns the previous one. Used by
+// FlopRegion and obs::TraceSpan; not part of the public surface.
+const char* SetRegion(const char* name);
+const char* CurrentRegion();
+}  // namespace internal_flops
+
 // RAII region tag: FLOPs recorded while alive are attributed to `name` in
 // FlopCounter::Breakdown(). Regions may nest; the innermost wins. Used to
 // split a model's forward cost into embed / branches / fusion.
+//
+// DEPRECATED: prefer obs::TraceSpan, which feeds the same breakdown and
+// additionally records wall-clock, peak-memory, and allocation-count deltas
+// per span. FlopRegion remains for old callers; Breakdown() semantics and
+// ordering are unchanged.
 class FlopRegion {
  public:
   explicit FlopRegion(const char* name);

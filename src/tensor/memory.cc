@@ -18,6 +18,8 @@ int64_t MemoryStats::TotalAllocations() { return g_total_allocations; }
 
 void MemoryStats::ResetPeak() { g_peak_bytes = g_current_bytes; }
 
+void MemoryStats::SetPeak(int64_t bytes) { g_peak_bytes = bytes; }
+
 void MemoryStats::RecordAlloc(int64_t bytes) {
   g_current_bytes += bytes;
   ++g_total_allocations;

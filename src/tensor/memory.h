@@ -21,6 +21,10 @@ struct MemoryStats {
   static int64_t TotalAllocations();
   // Sets the peak to the current live byte count.
   static void ResetPeak();
+  // Internal: overwrites the high-water mark. obs::TraceSpan uses this to
+  // window the peak per span (reset on entry, restored to the running max on
+  // exit); ordinary callers should use ResetPeak().
+  static void SetPeak(int64_t bytes);
 
   // Internal: called by the tensor allocator.
   static void RecordAlloc(int64_t bytes);

@@ -7,6 +7,7 @@
 #include "tensor/autograd.h"
 #include "tensor/flops.h"
 #include "tensor/ops.h"
+#include "tensor/profile_hooks.h"
 
 namespace focus {
 
@@ -25,31 +26,34 @@ Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias,
   if (bias.defined()) FOCUS_CHECK_EQ(bias.numel(), Cout);
 
   Tensor out = Tensor::Zeros({B, Cout, Lout});
-  const float* px = x.data();
-  const float* pw = w.data();
-  float* po = out.data();
-  for (int64_t b = 0; b < B; ++b) {
-    for (int64_t co = 0; co < Cout; ++co) {
-      float* orow = po + (b * Cout + co) * Lout;
-      if (bias.defined()) {
-        const float bv = bias.data()[co];
-        for (int64_t lo = 0; lo < Lout; ++lo) orow[lo] = bv;
-      }
-      for (int64_t ci = 0; ci < Cin; ++ci) {
-        const float* xrow = px + (b * Cin + ci) * L;
-        const float* wrow = pw + (co * Cin + ci) * K;
-        for (int64_t kk = 0; kk < K; ++kk) {
-          const float wv = wrow[kk];
-          const int64_t base = kk * dilation - padding;
-          for (int64_t lo = 0; lo < Lout; ++lo) {
-            const int64_t li = lo * stride + base;
-            if (li >= 0 && li < L) orow[lo] += wv * xrow[li];
+  {
+    FOCUS_KERNEL_SCOPE("kernel/conv1d");
+    const float* px = x.data();
+    const float* pw = w.data();
+    float* po = out.data();
+    for (int64_t b = 0; b < B; ++b) {
+      for (int64_t co = 0; co < Cout; ++co) {
+        float* orow = po + (b * Cout + co) * Lout;
+        if (bias.defined()) {
+          const float bv = bias.data()[co];
+          for (int64_t lo = 0; lo < Lout; ++lo) orow[lo] = bv;
+        }
+        for (int64_t ci = 0; ci < Cin; ++ci) {
+          const float* xrow = px + (b * Cin + ci) * L;
+          const float* wrow = pw + (co * Cin + ci) * K;
+          for (int64_t kk = 0; kk < K; ++kk) {
+            const float wv = wrow[kk];
+            const int64_t base = kk * dilation - padding;
+            for (int64_t lo = 0; lo < Lout; ++lo) {
+              const int64_t li = lo * stride + base;
+              if (li >= 0 && li < L) orow[lo] += wv * xrow[li];
+            }
           }
         }
       }
     }
+    FlopCounter::Add(2 * B * Cout * Lout * Cin * K);
   }
-  FlopCounter::Add(2 * B * Cout * Lout * Cin * K);
 
   Tensor xd = x.Detach(), wd = w.Detach();
   const bool has_bias = bias.defined();
@@ -113,38 +117,41 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
   if (bias.defined()) FOCUS_CHECK_EQ(bias.numel(), Cout);
 
   Tensor out = Tensor::Zeros({B, Cout, Hout, Wout});
-  const float* px = x.data();
-  const float* pw = w.data();
-  float* po = out.data();
-  for (int64_t b = 0; b < B; ++b) {
-    for (int64_t co = 0; co < Cout; ++co) {
-      float* oplane = po + (b * Cout + co) * Hout * Wout;
-      if (bias.defined()) {
-        const float bv = bias.data()[co];
-        for (int64_t i = 0; i < Hout * Wout; ++i) oplane[i] = bv;
-      }
-      for (int64_t ci = 0; ci < Cin; ++ci) {
-        const float* xplane = px + (b * Cin + ci) * H * W;
-        const float* wplane = pw + (co * Cin + ci) * KH * KW;
-        for (int64_t kh = 0; kh < KH; ++kh) {
-          for (int64_t kw = 0; kw < KW; ++kw) {
-            const float wv = wplane[kh * KW + kw];
-            for (int64_t ho = 0; ho < Hout; ++ho) {
-              const int64_t hi = ho * stride + kh - padding;
-              if (hi < 0 || hi >= H) continue;
-              float* orow = oplane + ho * Wout;
-              const float* xrow = xplane + hi * W;
-              for (int64_t wo = 0; wo < Wout; ++wo) {
-                const int64_t wi = wo * stride + kw - padding;
-                if (wi >= 0 && wi < W) orow[wo] += wv * xrow[wi];
+  {
+    FOCUS_KERNEL_SCOPE("kernel/conv2d");
+    const float* px = x.data();
+    const float* pw = w.data();
+    float* po = out.data();
+    for (int64_t b = 0; b < B; ++b) {
+      for (int64_t co = 0; co < Cout; ++co) {
+        float* oplane = po + (b * Cout + co) * Hout * Wout;
+        if (bias.defined()) {
+          const float bv = bias.data()[co];
+          for (int64_t i = 0; i < Hout * Wout; ++i) oplane[i] = bv;
+        }
+        for (int64_t ci = 0; ci < Cin; ++ci) {
+          const float* xplane = px + (b * Cin + ci) * H * W;
+          const float* wplane = pw + (co * Cin + ci) * KH * KW;
+          for (int64_t kh = 0; kh < KH; ++kh) {
+            for (int64_t kw = 0; kw < KW; ++kw) {
+              const float wv = wplane[kh * KW + kw];
+              for (int64_t ho = 0; ho < Hout; ++ho) {
+                const int64_t hi = ho * stride + kh - padding;
+                if (hi < 0 || hi >= H) continue;
+                float* orow = oplane + ho * Wout;
+                const float* xrow = xplane + hi * W;
+                for (int64_t wo = 0; wo < Wout; ++wo) {
+                  const int64_t wi = wo * stride + kw - padding;
+                  if (wi >= 0 && wi < W) orow[wo] += wv * xrow[wi];
+                }
               }
             }
           }
         }
       }
     }
+    FlopCounter::Add(2 * B * Cout * Hout * Wout * Cin * KH * KW);
   }
-  FlopCounter::Add(2 * B * Cout * Hout * Wout * Cin * KH * KW);
 
   Tensor xd = x.Detach(), wd = w.Detach();
   const bool has_bias = bias.defined();

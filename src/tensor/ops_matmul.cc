@@ -5,6 +5,7 @@
 #include "tensor/flops.h"
 #include "tensor/ops.h"
 #include "tensor/ops_common.h"
+#include "tensor/profile_hooks.h"
 
 namespace focus {
 
@@ -70,8 +71,11 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const bool batched_out = (a.dim() == 3 || b.dim() == 3);
   Shape out_shape = batched_out ? Shape{d.batch, d.m, d.n} : Shape{d.m, d.n};
   Tensor out = Tensor::Empty(out_shape);
-  MatMulKernel(a.data(), b.data(), out.data(), d.batch, d.batch_a, d.batch_b,
-               d.m, d.k, d.n);
+  {
+    FOCUS_KERNEL_SCOPE("kernel/matmul");
+    MatMulKernel(a.data(), b.data(), out.data(), d.batch, d.batch_a,
+                 d.batch_b, d.m, d.k, d.n);
+  }
 
   Tensor ad = a.Detach(), bd = b.Detach();
   return autograd::MakeResult(

@@ -6,6 +6,7 @@
 #include "tensor/autograd.h"
 #include "tensor/flops.h"
 #include "tensor/ops.h"
+#include "tensor/profile_hooks.h"
 
 namespace focus {
 
@@ -14,22 +15,25 @@ Tensor SoftmaxLastDim(const Tensor& x) {
   const int64_t n = x.size(-1);
   const int64_t rows = x.numel() / n;
   Tensor out = Tensor::Empty(x.shape());
-  const float* px = x.data();
-  float* po = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xi = px + r * n;
-    float* yi = po + r * n;
-    float max_v = xi[0];
-    for (int64_t i = 1; i < n; ++i) max_v = std::max(max_v, xi[i]);
-    float sum = 0.0f;
-    for (int64_t i = 0; i < n; ++i) {
-      yi[i] = std::exp(xi[i] - max_v);
-      sum += yi[i];
+  {
+    FOCUS_KERNEL_SCOPE("kernel/softmax");
+    const float* px = x.data();
+    float* po = out.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* xi = px + r * n;
+      float* yi = po + r * n;
+      float max_v = xi[0];
+      for (int64_t i = 1; i < n; ++i) max_v = std::max(max_v, xi[i]);
+      float sum = 0.0f;
+      for (int64_t i = 0; i < n; ++i) {
+        yi[i] = std::exp(xi[i] - max_v);
+        sum += yi[i];
+      }
+      const float inv = 1.0f / sum;
+      for (int64_t i = 0; i < n; ++i) yi[i] *= inv;
     }
-    const float inv = 1.0f / sum;
-    for (int64_t i = 0; i < n; ++i) yi[i] *= inv;
+    FlopCounter::Add(5 * x.numel());
   }
-  FlopCounter::Add(5 * x.numel());
 
   Tensor y_saved = out.Detach();
   return autograd::MakeResult(
@@ -65,30 +69,33 @@ Tensor LayerNormLastDim(const Tensor& x, const Tensor& gamma,
   // Saved statistics for backward (raw buffers, not autograd tensors).
   std::vector<float> means(static_cast<size_t>(rows));
   std::vector<float> rstds(static_cast<size_t>(rows));
-  const float* px = x.data();
-  const float* pgm = gamma.data();
-  const float* pbt = beta.data();
-  float* po = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xi = px + r * n;
-    float* yi = po + r * n;
-    float mean = 0.0f;
-    for (int64_t i = 0; i < n; ++i) mean += xi[i];
-    mean /= static_cast<float>(n);
-    float var = 0.0f;
-    for (int64_t i = 0; i < n; ++i) {
-      const float d = xi[i] - mean;
-      var += d * d;
+  {
+    FOCUS_KERNEL_SCOPE("kernel/layernorm");
+    const float* px = x.data();
+    const float* pgm = gamma.data();
+    const float* pbt = beta.data();
+    float* po = out.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* xi = px + r * n;
+      float* yi = po + r * n;
+      float mean = 0.0f;
+      for (int64_t i = 0; i < n; ++i) mean += xi[i];
+      mean /= static_cast<float>(n);
+      float var = 0.0f;
+      for (int64_t i = 0; i < n; ++i) {
+        const float d = xi[i] - mean;
+        var += d * d;
+      }
+      var /= static_cast<float>(n);
+      const float rstd = 1.0f / std::sqrt(var + eps);
+      means[static_cast<size_t>(r)] = mean;
+      rstds[static_cast<size_t>(r)] = rstd;
+      for (int64_t i = 0; i < n; ++i) {
+        yi[i] = (xi[i] - mean) * rstd * pgm[i] + pbt[i];
+      }
     }
-    var /= static_cast<float>(n);
-    const float rstd = 1.0f / std::sqrt(var + eps);
-    means[static_cast<size_t>(r)] = mean;
-    rstds[static_cast<size_t>(r)] = rstd;
-    for (int64_t i = 0; i < n; ++i) {
-      yi[i] = (xi[i] - mean) * rstd * pgm[i] + pbt[i];
-    }
+    FlopCounter::Add(8 * x.numel());
   }
-  FlopCounter::Add(8 * x.numel());
 
   Tensor x_saved = x.Detach();
   Tensor gamma_saved = gamma.Detach();

@@ -1,0 +1,13 @@
+#include "tensor/profile_hooks.h"
+
+namespace focus {
+
+namespace internal_profile {
+KernelProfileHooks g_hooks;
+}  // namespace internal_profile
+
+void SetKernelProfileHooks(KernelProfileHooks hooks) {
+  internal_profile::g_hooks = hooks;
+}
+
+}  // namespace focus

@@ -1,0 +1,62 @@
+// Kernel-level profiling hooks.
+//
+// The tensor kernels (matmul / softmax / layer-norm / conv) can emit
+// per-invocation profile scopes without depending on the observability
+// layer: they call through a pair of process-wide function pointers that
+// src/obs installs when tracing is enabled. When no hooks are installed the
+// cost is a single pointer load and branch per kernel call; defining the
+// build without FOCUS_OBS_KERNELS compiles even that out.
+#ifndef FOCUS_TENSOR_PROFILE_HOOKS_H_
+#define FOCUS_TENSOR_PROFILE_HOOKS_H_
+
+namespace focus {
+
+struct KernelProfileHooks {
+  // Called at kernel entry with a static-lifetime name ("kernel/matmul").
+  void (*begin)(const char* name) = nullptr;
+  // Called at kernel exit; strictly LIFO with respect to begin().
+  void (*end)() = nullptr;
+};
+
+// Installs (or, with default-constructed hooks, clears) the process-wide
+// kernel hooks. Not thread-safe against in-flight kernels; install before
+// the instrumented workload runs.
+void SetKernelProfileHooks(KernelProfileHooks hooks);
+
+namespace internal_profile {
+extern KernelProfileHooks g_hooks;
+}  // namespace internal_profile
+
+// RAII scope a kernel places around its compute loop. begin/end only fire
+// while hooks are installed; `began_` guards against hooks being cleared
+// between entry and exit.
+class KernelProfileScope {
+ public:
+  explicit KernelProfileScope(const char* name) {
+    if (internal_profile::g_hooks.begin != nullptr) {
+      internal_profile::g_hooks.begin(name);
+      began_ = true;
+    }
+  }
+  ~KernelProfileScope() {
+    if (began_ && internal_profile::g_hooks.end != nullptr) {
+      internal_profile::g_hooks.end();
+    }
+  }
+  KernelProfileScope(const KernelProfileScope&) = delete;
+  KernelProfileScope& operator=(const KernelProfileScope&) = delete;
+
+ private:
+  bool began_ = false;
+};
+
+}  // namespace focus
+
+#if defined(FOCUS_OBS_KERNELS)
+#define FOCUS_KERNEL_SCOPE(name) \
+  ::focus::KernelProfileScope focus_kernel_profile_scope_(name)
+#else
+#define FOCUS_KERNEL_SCOPE(name) static_cast<void>(0)
+#endif
+
+#endif  // FOCUS_TENSOR_PROFILE_HOOKS_H_

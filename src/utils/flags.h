@@ -1,6 +1,10 @@
 // Minimal command-line flag parsing for the example tools.
 // Accepts --name=value and --name value; bare --name is a boolean true.
 // Everything else is collected as positional arguments.
+//
+// Binaries that want span tracing follow a shared convention: pass the
+// parsed flags to obs::ApplyTraceFlag(), which wires `--trace[=FILE]` and
+// `--trace-format=chrome|jsonl` into the obs::Tracer (see obs/trace.h).
 #ifndef FOCUS_UTILS_FLAGS_H_
 #define FOCUS_UTILS_FLAGS_H_
 

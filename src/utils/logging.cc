@@ -1,12 +1,43 @@
 #include "utils/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdio>
 #include <cstring>
+#include <mutex>
+
+#include "utils/env.h"
 
 namespace focus {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+// Parses FOCUS_LOG_LEVEL: a name (debug|info|warning|error, any case) or a
+// number 0-3. Anything else keeps `fallback`.
+int ParseLevel(const std::string& value, int fallback) {
+  if (value.size() == 1 && value[0] >= '0' && value[0] <= '3') {
+    return value[0] - '0';
+  }
+  std::string lower;
+  for (char c : value) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return static_cast<int>(LogLevel::kDebug);
+  if (lower == "info") return static_cast<int>(LogLevel::kInfo);
+  if (lower == "warning" || lower == "warn") {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (lower == "error") return static_cast<int>(LogLevel::kError);
+  return fallback;
+}
+
+std::atomic<int>& Level() {
+  static std::atomic<int> level{
+      ParseLevel(GetEnvOr("FOCUS_LOG_LEVEL", ""),
+                 static_cast<int>(LogLevel::kInfo))};
+  return level;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,11 +53,12 @@ const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash ? slash + 1 : path;
 }
+
 }  // namespace
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+LogLevel GetLogLevel() { return static_cast<LogLevel>(Level().load()); }
 
-void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+void SetLogLevel(LogLevel level) { Level().store(static_cast<int>(level)); }
 
 namespace internal_log {
 
@@ -37,9 +69,15 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) >= g_level.load()) {
-    std::cerr << stream_.str() << std::endl;
-  }
+  if (static_cast<int>(level_) < Level().load()) return;
+  // Emit the whole line in one write under a mutex so concurrent loggers
+  // (e.g. parallel clustering workers) never interleave mid-message.
+  stream_ << '\n';
+  const std::string line = stream_.str();
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace internal_log

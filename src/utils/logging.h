@@ -1,4 +1,7 @@
-// Lightweight leveled logging to stderr.
+// Lightweight leveled logging to stderr. Each message is emitted as a
+// single atomic write, so concurrent threads never interleave mid-line.
+// The initial minimum level comes from the FOCUS_LOG_LEVEL env var
+// (debug|info|warning|error or 0-3, default info).
 #ifndef FOCUS_UTILS_LOGGING_H_
 #define FOCUS_UTILS_LOGGING_H_
 

@@ -1,0 +1,274 @@
+// Unit tests for the obs subsystem: TraceSpan attribution, exporter output,
+// the disabled path, and the MetricsRegistry.
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics_registry.h"
+#include "tensor/flops.h"
+#include "tensor/memory.h"
+#include "tensor/tensor.h"
+
+namespace focus {
+namespace {
+
+// Finds the aggregate for `name`, failing the test if absent.
+obs::SpanStats StatsFor(
+    const std::vector<std::pair<std::string, obs::SpanStats>>& agg,
+    const std::string& name) {
+  for (const auto& [n, stats] : agg) {
+    if (n == name) return stats;
+  }
+  ADD_FAILURE() << "no span named " << name;
+  return {};
+}
+
+int64_t BreakdownFor(
+    const std::vector<std::pair<std::string, int64_t>>& breakdown,
+    const std::string& name) {
+  for (const auto& [n, flops] : breakdown) {
+    if (n == name) return flops;
+  }
+  return 0;
+}
+
+// Minimal structural JSON check: every brace/bracket outside of strings
+// balances, and the document is a single object. Enough to catch broken
+// escaping or truncated output without a full parser.
+bool JsonBalanced(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false, escaped = false;
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      stack.push_back(c);
+    } else if (c == '}' || c == ']') {
+      if (stack.empty()) return false;
+      const char open = stack.back();
+      stack.pop_back();
+      if ((c == '}') != (open == '{')) return false;
+    }
+  }
+  return stack.empty() && !in_string;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+// Every test runs with a clean tracer and counters, and leaves tracing off.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Tracer::Get().Disable();
+    obs::Tracer::Get().Clear();
+    FlopCounter::Reset();
+  }
+  void TearDown() override {
+    obs::Tracer::Get().Disable();
+    obs::Tracer::Get().Clear();
+    FlopCounter::Reset();
+  }
+};
+
+TEST_F(ObsTest, NestedSpansAttributeToInnermostScope) {
+  auto& tracer = obs::Tracer::Get();
+  tracer.Enable();
+  const int64_t tensor_bytes =
+      static_cast<int64_t>(sizeof(float)) * 256;
+  {
+    obs::TraceSpan outer("test/outer");
+    FlopCounter::Add(1000);
+    {
+      obs::TraceSpan inner("test/inner");
+      FlopCounter::Add(500);
+      Tensor scratch = Tensor::Zeros({256});  // peaks inside `inner`
+    }
+    FlopCounter::Add(200);
+  }
+  tracer.Disable();
+
+  const auto agg = obs::AggregateSpans(tracer.Snapshot());
+  const auto outer = StatsFor(agg, "test/outer");
+  const auto inner = StatsFor(agg, "test/inner");
+
+  EXPECT_EQ(inner.flops, 500);
+  EXPECT_EQ(inner.self_flops, 500);
+  EXPECT_EQ(outer.flops, 1700);       // inclusive of inner
+  EXPECT_EQ(outer.self_flops, 1200);  // exclusive of inner
+  EXPECT_GE(inner.peak_bytes, tensor_bytes);
+  EXPECT_GE(outer.peak_bytes, tensor_bytes);
+  EXPECT_GE(inner.allocs, 1);
+
+  // The legacy region breakdown sees the same attribution (innermost wins).
+  const auto breakdown = FlopCounter::Breakdown();
+  EXPECT_EQ(BreakdownFor(breakdown, "test/inner"), 500);
+  EXPECT_EQ(BreakdownFor(breakdown, "test/outer"), 1200);
+}
+
+TEST_F(ObsTest, SpanPeakWindowDoesNotLowerOuterPeak) {
+  // An outer observer (metrics::ProbeEfficiency) must still see the true
+  // high-water mark after spans reset and restore it.
+  auto& tracer = obs::Tracer::Get();
+  MemoryStats::ResetPeak();
+  const int64_t baseline_peak = MemoryStats::PeakBytes();
+  tracer.Enable();
+  {
+    obs::TraceSpan span("test/peak");
+    Tensor scratch = Tensor::Zeros({1024});
+  }
+  tracer.Disable();
+  EXPECT_GE(MemoryStats::PeakBytes(),
+            baseline_peak + static_cast<int64_t>(sizeof(float)) * 1024);
+}
+
+TEST_F(ObsTest, ChromeTraceExportRoundTrip) {
+  auto& tracer = obs::Tracer::Get();
+  tracer.Enable();
+  {
+    obs::TraceSpan span("test/export \"quoted\"");
+    FlopCounter::Add(42);
+  }
+  obs::MetricsRegistry::Get().SetGauge("test/gauge", 1.5);
+
+  const std::string path = "obs_test_trace.json";
+  tracer.SetOutput(path, obs::TraceFormat::kChromeTrace);
+  ASSERT_TRUE(tracer.Flush().ok());
+  tracer.SetOutput("", obs::TraceFormat::kChromeTrace);
+  tracer.Disable();
+
+  const std::string text = ReadFile(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(text.empty());
+  EXPECT_TRUE(JsonBalanced(text));
+  EXPECT_EQ(text.find_first_not_of(" \n"), text.find('{'));
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("test/export \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(text.find("\"flops\":42"), std::string::npos);
+  EXPECT_NE(text.find("\"peak_bytes\""), std::string::npos);
+  EXPECT_NE(text.find("\"wall_us\""), std::string::npos);
+  EXPECT_NE(text.find("\"focusMetrics\""), std::string::npos);
+  EXPECT_NE(text.find("\"test/gauge\":1.5"), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonlExportRoundTrip) {
+  auto& tracer = obs::Tracer::Get();
+  tracer.Enable();
+  {
+    obs::TraceSpan span("test/jsonl");
+    FlopCounter::Add(7);
+  }
+
+  const std::string path = "obs_test_trace.jsonl";
+  tracer.SetOutput(path, obs::TraceFormat::kJsonl);
+  ASSERT_TRUE(tracer.Flush().ok());
+  tracer.SetOutput("", obs::TraceFormat::kJsonl);
+  tracer.Disable();
+
+  const std::string text = ReadFile(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(text.empty());
+  // Every line is one balanced JSON object.
+  size_t start = 0;
+  bool saw_span = false;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    if (!line.empty()) {
+      EXPECT_EQ(line.front(), '{') << line;
+      EXPECT_EQ(line.back(), '}') << line;
+      EXPECT_TRUE(JsonBalanced(line)) << line;
+      if (line.find("\"type\":\"span\"") != std::string::npos &&
+          line.find("test/jsonl") != std::string::npos) {
+        saw_span = true;
+        EXPECT_NE(line.find("\"flops\":7"), std::string::npos);
+      }
+    }
+    start = end + 1;
+  }
+  EXPECT_TRUE(saw_span);
+}
+
+TEST_F(ObsTest, DisabledTracingRecordsNothingButRegionsStillWork) {
+  auto& tracer = obs::Tracer::Get();
+  ASSERT_FALSE(tracer.enabled());
+  {
+    obs::TraceSpan span("test/disabled");
+    FlopCounter::Add(123);
+  }
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  // The FlopCounter region tag works even with tracing off, so legacy
+  // Breakdown() consumers lose nothing.
+  EXPECT_EQ(BreakdownFor(FlopCounter::Breakdown(), "test/disabled"), 123);
+}
+
+TEST_F(ObsTest, BreakdownPreservesFirstUseOrder) {
+  // Regression: Breakdown() reports regions in first-use order, not sorted.
+  {
+    obs::TraceSpan a("zeta");
+    FlopCounter::Add(1);
+  }
+  {
+    FlopRegion b("alpha");
+    FlopCounter::Add(2);
+  }
+  {
+    obs::TraceSpan c("mid");
+    FlopCounter::Add(3);
+  }
+  const auto breakdown = FlopCounter::Breakdown();
+  std::vector<std::string> names;
+  for (const auto& [name, flops] : breakdown) names.push_back(name);
+  const std::vector<std::string> expected = {"zeta", "alpha", "mid"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST_F(ObsTest, MetricsRegistryCountersGaugesPercentiles) {
+  auto& registry = obs::MetricsRegistry::Get();
+  registry.AddCounter("test/count");
+  registry.AddCounter("test/count", 4);
+  EXPECT_EQ(registry.CounterValue("test/count"), 5);
+
+  registry.SetGauge("test/g", 2.0);
+  registry.SetGauge("test/g", 3.5);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("test/g"), 3.5);
+
+  registry.ResetHistogram("test/h");
+  for (int i = 1; i <= 100; ++i) {
+    registry.Observe("test/h", static_cast<double>(i));
+  }
+  const auto summary = registry.Summarize("test/h");
+  EXPECT_EQ(summary.count, 100);
+  EXPECT_DOUBLE_EQ(summary.min, 1.0);
+  EXPECT_DOUBLE_EQ(summary.max, 100.0);
+  EXPECT_DOUBLE_EQ(summary.p50, 50.0);
+  EXPECT_DOUBLE_EQ(summary.p95, 95.0);
+  registry.ResetHistogram("test/h");
+  EXPECT_EQ(registry.Summarize("test/h").count, 0);
+}
+
+}  // namespace
+}  // namespace focus
