@@ -7,10 +7,19 @@
 #include "cluster/segment_clustering.h"
 #include "core/proto_attn.h"
 #include "nn/attention.h"
+#include "parallel/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace focus {
 namespace {
+
+// Every benchmark reports the pool size so serial/pooled runs recorded with
+// different FOCUS_NUM_THREADS are distinguishable in the JSON output
+// (results/BENCH_kernels.json keeps one run of each).
+void ReportThreads(benchmark::State& state) {
+  state.counters["threads"] =
+      static_cast<double>(ThreadPool::Global().num_threads());
+}
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -22,8 +31,58 @@ void BM_MatMul(benchmark::State& state) {
     benchmark::DoNotOptimize(MatMul(a, b).data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  ReportThreads(state);
 }
-BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// Batched matmul at the shapes the fig6 efficiency bench drives through
+// ProtoAttn / the transformer baselines: (B, l, d) @ (B, d, d).
+void BM_MatMulBatched(benchmark::State& state) {
+  const int64_t b = state.range(0), l = state.range(1), d = state.range(2);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({b, l, d}, rng);
+  Tensor w = Tensor::Randn({b, d, d}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, w).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * b * l * d * d);
+  ReportThreads(state);
+}
+BENCHMARK(BM_MatMulBatched)->Args({32, 96, 64})->Args({8, 512, 64});
+
+void BM_Conv1d(benchmark::State& state) {
+  const int64_t B = state.range(0), C = state.range(1), L = state.range(2);
+  Rng rng(1);
+  Tensor x = Tensor::Randn({B, C, L}, rng);
+  Tensor w = Tensor::Randn({C, C, 3}, rng);
+  Tensor bias = Tensor::Randn({C}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Conv1d(x, w, bias, /*stride=*/1, /*padding=*/1, /*dilation=*/1)
+            .data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * B * C * L * C * 3);
+  ReportThreads(state);
+}
+BENCHMARK(BM_Conv1d)->Args({16, 32, 96})->Args({16, 64, 512});
+
+void BM_LayerNormLastDim(benchmark::State& state) {
+  const int64_t rows = state.range(0), n = state.range(1);
+  Rng rng(1);
+  Tensor x = Tensor::Randn({rows, n}, rng);
+  Tensor gamma = Tensor::Ones({n});
+  Tensor beta = Tensor::Zeros({n});
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LayerNormLastDim(x, gamma, beta, 1e-5f).data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * n);
+  ReportThreads(state);
+}
+BENCHMARK(BM_LayerNormLastDim)->Args({3072, 64})->Args({4096, 512});
 
 void BM_SoftmaxLastDim(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -34,6 +93,7 @@ void BM_SoftmaxLastDim(benchmark::State& state) {
     benchmark::DoNotOptimize(SoftmaxLastDim(x).data());
   }
   state.SetItemsProcessed(state.iterations() * n * n);
+  ReportThreads(state);
 }
 BENCHMARK(BM_SoftmaxLastDim)->Arg(128)->Arg(512);
 
@@ -99,6 +159,7 @@ void BM_NearestPrototypeAssignment(benchmark::State& state) {
         cluster::SegmentClustering::Assign(segments, protos, 0.2f));
   }
   state.SetItemsProcessed(state.iterations() * num_segments);
+  ReportThreads(state);
 }
 BENCHMARK(BM_NearestPrototypeAssignment)->Arg(1024)->Arg(8192);
 

@@ -1,5 +1,6 @@
 #include "cluster/segment_clustering.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -7,6 +8,7 @@
 #include <optional>
 
 #include "obs/trace.h"
+#include "parallel/thread_pool.h"
 #include "utils/check.h"
 #include "utils/stopwatch.h"
 
@@ -95,20 +97,26 @@ std::vector<int64_t> SegmentClustering::Assign(const Tensor& segments,
   FOCUS_CHECK_EQ(prototypes.size(1), p) << "segment/prototype length mismatch";
   const int64_t n = segments.size(0), k = prototypes.size(0);
   std::vector<int64_t> assignments(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) {
-    const float* seg = segments.data() + i * p;
-    float best = std::numeric_limits<float>::max();
-    int64_t best_j = 0;
-    for (int64_t j = 0; j < k; ++j) {
-      const float d =
-          CompositeDistance(seg, prototypes.data() + j * p, p, alpha);
-      if (d < best) {
-        best = d;
-        best_j = j;
+  // Each segment's nearest-prototype search is independent; shards write
+  // disjoint assignment slices, so the result is identical for any
+  // FOCUS_NUM_THREADS.
+  const int64_t grain = std::max<int64_t>(1, 2048 / std::max<int64_t>(1, k));
+  ParallelFor(0, n, grain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* seg = segments.data() + i * p;
+      float best = std::numeric_limits<float>::max();
+      int64_t best_j = 0;
+      for (int64_t j = 0; j < k; ++j) {
+        const float d =
+            CompositeDistance(seg, prototypes.data() + j * p, p, alpha);
+        if (d < best) {
+          best = d;
+          best_j = j;
+        }
       }
+      assignments[static_cast<size_t>(i)] = best_j;
     }
-    assignments[static_cast<size_t>(i)] = best_j;
-  }
+  });
   return assignments;
 }
 
@@ -129,12 +137,19 @@ Tensor SegmentClustering::InitPrototypes(const Tensor& segments,
               static_cast<size_t>(p) * sizeof(float));
   for (int64_t c = 1; c < k; ++c) {
     const float* last = prototypes.data() + (c - 1) * p;
+    // Distance updates are per-segment independent; the probability mass
+    // `total` is summed serially afterwards in index order so the sampled
+    // seeding is identical for any FOCUS_NUM_THREADS.
+    ParallelFor(0, n, 512, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        const double d =
+            CompositeDistance(segments.data() + i * p, last, p, alpha);
+        min_dist[static_cast<size_t>(i)] =
+            std::min(min_dist[static_cast<size_t>(i)], d);
+      }
+    });
     double total = 0;
     for (int64_t i = 0; i < n; ++i) {
-      const double d =
-          CompositeDistance(segments.data() + i * p, last, p, alpha);
-      min_dist[static_cast<size_t>(i)] =
-          std::min(min_dist[static_cast<size_t>(i)], d);
       total += min_dist[static_cast<size_t>(i)];
     }
     double pick = rng.Uniform() * total;

@@ -1,17 +1,26 @@
 #include "tensor/flops.h"
 
+#include <atomic>
 #include <cstring>
+#include <mutex>
 
 namespace focus {
 
 namespace {
-int64_t g_flops = 0;
-const char* g_region = nullptr;
+// Kernels compute their FLOP count once, from resolved dims, on the thread
+// that launched them — never from inside a ParallelFor body — so in
+// practice this counter sees no contention. It is atomic anyway so a stray
+// add from a pool thread is merely unattributed, not a data race.
+std::atomic<int64_t> g_flops{0};
+// Region attribution is thread-local: a pool worker never inherits (or
+// clobbers) the launching thread's region tag.
+thread_local const char* tl_region = nullptr;
 
 struct RegionEntry {
   const char* name;
   int64_t flops;
 };
+std::mutex g_regions_mu;
 // Small flat store: region sets are tiny (a handful per model), and pointer
 // identity of string literals makes lookup a pointer compare in the common
 // case.
@@ -21,28 +30,33 @@ std::vector<RegionEntry>& Regions() {
 }
 }  // namespace
 
-int64_t FlopCounter::Count() { return g_flops; }
+int64_t FlopCounter::Count() {
+  return g_flops.load(std::memory_order_relaxed);
+}
 
 void FlopCounter::Reset() {
-  g_flops = 0;
+  g_flops.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_regions_mu);
   Regions().clear();
 }
 
 void FlopCounter::Add(int64_t flops) {
-  g_flops += flops;
-  if (g_region != nullptr) {
+  g_flops.fetch_add(flops, std::memory_order_relaxed);
+  if (tl_region != nullptr) {
+    std::lock_guard<std::mutex> lock(g_regions_mu);
     for (auto& entry : Regions()) {
-      if (entry.name == g_region ||
-          std::strcmp(entry.name, g_region) == 0) {
+      if (entry.name == tl_region ||
+          std::strcmp(entry.name, tl_region) == 0) {
         entry.flops += flops;
         return;
       }
     }
-    Regions().push_back({g_region, flops});
+    Regions().push_back({tl_region, flops});
   }
 }
 
 std::vector<std::pair<std::string, int64_t>> FlopCounter::Breakdown() {
+  std::lock_guard<std::mutex> lock(g_regions_mu);
   std::vector<std::pair<std::string, int64_t>> out;
   for (const auto& entry : Regions()) {
     out.emplace_back(entry.name, entry.flops);
@@ -53,12 +67,12 @@ std::vector<std::pair<std::string, int64_t>> FlopCounter::Breakdown() {
 namespace internal_flops {
 
 const char* SetRegion(const char* name) {
-  const char* previous = g_region;
-  g_region = name;
+  const char* previous = tl_region;
+  tl_region = name;
   return previous;
 }
 
-const char* CurrentRegion() { return g_region; }
+const char* CurrentRegion() { return tl_region; }
 
 }  // namespace internal_flops
 

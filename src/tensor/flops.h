@@ -5,6 +5,12 @@
 // computational workload of a model forward pass — the FLOPs metric of the
 // paper's Fig. 6 / Table IV — rather than an analytic estimate, so the
 // numbers automatically stay honest as models evolve.
+//
+// Thread model: every kernel computes its count once, from resolved shapes,
+// on the launching thread and *outside* any ParallelFor region, so counts
+// are deterministic under concurrency (independent of FOCUS_NUM_THREADS).
+// The global counter is atomic and the attribution region is thread-local,
+// keeping the pool-enabled build race-free.
 #ifndef FOCUS_TENSOR_FLOPS_H_
 #define FOCUS_TENSOR_FLOPS_H_
 

@@ -5,8 +5,11 @@
 namespace focus {
 
 namespace {
-// The library is single-threaded by design (see DESIGN.md); plain counters
-// keep the hot allocation path free of atomic traffic.
+// Tensor buffers are only ever allocated/freed on the thread that launches
+// kernels — ParallelFor bodies operate on raw pointers into preallocated
+// buffers and never construct tensors (see DESIGN.md, "Parallel kernel
+// execution"). Plain counters therefore keep the hot allocation path free
+// of atomic traffic even with the thread pool enabled.
 int64_t g_current_bytes = 0;
 int64_t g_peak_bytes = 0;
 int64_t g_total_allocations = 0;

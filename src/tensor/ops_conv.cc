@@ -2,8 +2,16 @@
 // Used by the graph / TCN / inception baselines (MTGNN, Graph WaveNet,
 // TimesNet, LightCTS). Sizes in this project are small, so simple loops
 // with good inner-stride behaviour are sufficient.
+//
+// Parallelization: each pass is sharded over an index whose output slices
+// are disjoint — (batch, out-channel) for the forward, batch for dX and
+// out-channel for dW/db — and inner loop nests keep the per-element
+// accumulation order of the serial kernel, so results are bit-identical for
+// any FOCUS_NUM_THREADS. FLOP counts are computed once from the resolved
+// shapes on the launching thread, outside the parallel regions.
 #include <cstring>
 
+#include "parallel/thread_pool.h"
 #include "tensor/autograd.h"
 #include "tensor/flops.h"
 #include "tensor/ops.h"
@@ -30,12 +38,14 @@ Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias,
     FOCUS_KERNEL_SCOPE("kernel/conv1d");
     const float* px = x.data();
     const float* pw = w.data();
+    const float* pb = bias.defined() ? bias.data() : nullptr;
     float* po = out.data();
-    for (int64_t b = 0; b < B; ++b) {
-      for (int64_t co = 0; co < Cout; ++co) {
-        float* orow = po + (b * Cout + co) * Lout;
-        if (bias.defined()) {
-          const float bv = bias.data()[co];
+    ParallelFor(0, B * Cout, 1, [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const int64_t b = r / Cout, co = r % Cout;
+        float* orow = po + r * Lout;
+        if (pb != nullptr) {
+          const float bv = pb[co];
           for (int64_t lo = 0; lo < Lout; ++lo) orow[lo] = bv;
         }
         for (int64_t ci = 0; ci < Cin; ++ci) {
@@ -51,7 +61,7 @@ Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias,
           }
         }
       }
-    }
+    });
     FlopCounter::Add(2 * B * Cout * Lout * Cin * K);
   }
 
@@ -69,36 +79,55 @@ Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias,
         const float* pw = wd.data();
         float* pgx = gx.data();
         float* pgw = gw.data();
-        for (int64_t b = 0; b < B; ++b) {
-          for (int64_t co = 0; co < Cout; ++co) {
-            const float* grow = pg + (b * Cout + co) * Lout;
-            if (has_bias) {
-              float acc = 0.0f;
-              for (int64_t lo = 0; lo < Lout; ++lo) acc += grow[lo];
-              gb.data()[co] += acc;
-            }
-            for (int64_t ci = 0; ci < Cin; ++ci) {
-              const float* xrow = px + (b * Cin + ci) * L;
-              float* gxrow = pgx + (b * Cin + ci) * L;
-              const float* wrow = pw + (co * Cin + ci) * K;
-              float* gwrow = pgw + (co * Cin + ci) * K;
-              for (int64_t kk = 0; kk < K; ++kk) {
-                const float wv = wrow[kk];
-                const int64_t base = kk * dilation - padding;
-                float wacc = 0.0f;
-                for (int64_t lo = 0; lo < Lout; ++lo) {
-                  const int64_t li = lo * stride + base;
-                  if (li >= 0 && li < L) {
-                    const float gv = grow[lo];
-                    gxrow[li] += wv * gv;
-                    wacc += xrow[li] * gv;
+        float* pgb = has_bias ? gb.data() : nullptr;
+        // dX: batch entries own disjoint gx slices; within one, channels
+        // accumulate co-ascending as in the serial kernel.
+        ParallelFor(0, B, 1, [&](int64_t b0, int64_t b1) {
+          for (int64_t b = b0; b < b1; ++b) {
+            for (int64_t co = 0; co < Cout; ++co) {
+              const float* grow = pg + (b * Cout + co) * Lout;
+              for (int64_t ci = 0; ci < Cin; ++ci) {
+                float* gxrow = pgx + (b * Cin + ci) * L;
+                const float* wrow = pw + (co * Cin + ci) * K;
+                for (int64_t kk = 0; kk < K; ++kk) {
+                  const float wv = wrow[kk];
+                  const int64_t base = kk * dilation - padding;
+                  for (int64_t lo = 0; lo < Lout; ++lo) {
+                    const int64_t li = lo * stride + base;
+                    if (li >= 0 && li < L) gxrow[li] += wv * grow[lo];
                   }
                 }
-                gwrow[kk] += wacc;
               }
             }
           }
-        }
+        });
+        // dW / db: out-channels own disjoint gw/gb slices; the batch
+        // reduction stays b-ascending inside each shard.
+        ParallelFor(0, Cout, 1, [&](int64_t c0, int64_t c1) {
+          for (int64_t co = c0; co < c1; ++co) {
+            for (int64_t b = 0; b < B; ++b) {
+              const float* grow = pg + (b * Cout + co) * Lout;
+              if (pgb != nullptr) {
+                float acc = 0.0f;
+                for (int64_t lo = 0; lo < Lout; ++lo) acc += grow[lo];
+                pgb[co] += acc;
+              }
+              for (int64_t ci = 0; ci < Cin; ++ci) {
+                const float* xrow = px + (b * Cin + ci) * L;
+                float* gwrow = pgw + (co * Cin + ci) * K;
+                for (int64_t kk = 0; kk < K; ++kk) {
+                  const int64_t base = kk * dilation - padding;
+                  float wacc = 0.0f;
+                  for (int64_t lo = 0; lo < Lout; ++lo) {
+                    const int64_t li = lo * stride + base;
+                    if (li >= 0 && li < L) wacc += xrow[li] * grow[lo];
+                  }
+                  gwrow[kk] += wacc;
+                }
+              }
+            }
+          }
+        });
         FlopCounter::Add(4 * B * Cout * Lout * Cin * K);
         return {gx, gw, gb};
       });
@@ -121,12 +150,14 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
     FOCUS_KERNEL_SCOPE("kernel/conv2d");
     const float* px = x.data();
     const float* pw = w.data();
+    const float* pb = bias.defined() ? bias.data() : nullptr;
     float* po = out.data();
-    for (int64_t b = 0; b < B; ++b) {
-      for (int64_t co = 0; co < Cout; ++co) {
-        float* oplane = po + (b * Cout + co) * Hout * Wout;
-        if (bias.defined()) {
-          const float bv = bias.data()[co];
+    ParallelFor(0, B * Cout, 1, [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const int64_t b = r / Cout, co = r % Cout;
+        float* oplane = po + r * Hout * Wout;
+        if (pb != nullptr) {
+          const float bv = pb[co];
           for (int64_t i = 0; i < Hout * Wout; ++i) oplane[i] = bv;
         }
         for (int64_t ci = 0; ci < Cin; ++ci) {
@@ -149,7 +180,7 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
           }
         }
       }
-    }
+    });
     FlopCounter::Add(2 * B * Cout * Hout * Wout * Cin * KH * KW);
   }
 
@@ -167,43 +198,67 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
         const float* pw = wd.data();
         float* pgx = gx.data();
         float* pgw = gw.data();
-        for (int64_t b = 0; b < B; ++b) {
-          for (int64_t co = 0; co < Cout; ++co) {
-            const float* gplane = pg + (b * Cout + co) * Hout * Wout;
-            if (has_bias) {
-              float acc = 0.0f;
-              for (int64_t i = 0; i < Hout * Wout; ++i) acc += gplane[i];
-              gb.data()[co] += acc;
-            }
-            for (int64_t ci = 0; ci < Cin; ++ci) {
-              const float* xplane = px + (b * Cin + ci) * H * W;
-              float* gxplane = pgx + (b * Cin + ci) * H * W;
-              const float* wplane = pw + (co * Cin + ci) * KH * KW;
-              float* gwplane = pgw + (co * Cin + ci) * KH * KW;
-              for (int64_t kh = 0; kh < KH; ++kh) {
-                for (int64_t kw = 0; kw < KW; ++kw) {
-                  const float wv = wplane[kh * KW + kw];
-                  float wacc = 0.0f;
-                  for (int64_t ho = 0; ho < Hout; ++ho) {
-                    const int64_t hi = ho * stride + kh - padding;
-                    if (hi < 0 || hi >= H) continue;
-                    const float* grow = gplane + ho * Wout;
-                    const float* xrow = xplane + hi * W;
-                    float* gxrow = gxplane + hi * W;
-                    for (int64_t wo = 0; wo < Wout; ++wo) {
-                      const int64_t wi = wo * stride + kw - padding;
-                      if (wi >= 0 && wi < W) {
-                        gxrow[wi] += wv * grow[wo];
-                        wacc += xrow[wi] * grow[wo];
+        float* pgb = has_bias ? gb.data() : nullptr;
+        // dX: parallel over batch (disjoint gx planes per shard).
+        ParallelFor(0, B, 1, [&](int64_t b0, int64_t b1) {
+          for (int64_t b = b0; b < b1; ++b) {
+            for (int64_t co = 0; co < Cout; ++co) {
+              const float* gplane = pg + (b * Cout + co) * Hout * Wout;
+              for (int64_t ci = 0; ci < Cin; ++ci) {
+                float* gxplane = pgx + (b * Cin + ci) * H * W;
+                const float* wplane = pw + (co * Cin + ci) * KH * KW;
+                for (int64_t kh = 0; kh < KH; ++kh) {
+                  for (int64_t kw = 0; kw < KW; ++kw) {
+                    const float wv = wplane[kh * KW + kw];
+                    for (int64_t ho = 0; ho < Hout; ++ho) {
+                      const int64_t hi = ho * stride + kh - padding;
+                      if (hi < 0 || hi >= H) continue;
+                      const float* grow = gplane + ho * Wout;
+                      float* gxrow = gxplane + hi * W;
+                      for (int64_t wo = 0; wo < Wout; ++wo) {
+                        const int64_t wi = wo * stride + kw - padding;
+                        if (wi >= 0 && wi < W) gxrow[wi] += wv * grow[wo];
                       }
                     }
                   }
-                  gwplane[kh * KW + kw] += wacc;
                 }
               }
             }
           }
-        }
+        });
+        // dW / db: parallel over out-channels (disjoint gw/gb slices).
+        ParallelFor(0, Cout, 1, [&](int64_t c0, int64_t c1) {
+          for (int64_t co = c0; co < c1; ++co) {
+            for (int64_t b = 0; b < B; ++b) {
+              const float* gplane = pg + (b * Cout + co) * Hout * Wout;
+              if (pgb != nullptr) {
+                float acc = 0.0f;
+                for (int64_t i = 0; i < Hout * Wout; ++i) acc += gplane[i];
+                pgb[co] += acc;
+              }
+              for (int64_t ci = 0; ci < Cin; ++ci) {
+                const float* xplane = px + (b * Cin + ci) * H * W;
+                float* gwplane = pgw + (co * Cin + ci) * KH * KW;
+                for (int64_t kh = 0; kh < KH; ++kh) {
+                  for (int64_t kw = 0; kw < KW; ++kw) {
+                    float wacc = 0.0f;
+                    for (int64_t ho = 0; ho < Hout; ++ho) {
+                      const int64_t hi = ho * stride + kh - padding;
+                      if (hi < 0 || hi >= H) continue;
+                      const float* grow = gplane + ho * Wout;
+                      const float* xrow = xplane + hi * W;
+                      for (int64_t wo = 0; wo < Wout; ++wo) {
+                        const int64_t wi = wo * stride + kw - padding;
+                        if (wi >= 0 && wi < W) wacc += xrow[wi] * grow[wo];
+                      }
+                    }
+                    gwplane[kh * KW + kw] += wacc;
+                  }
+                }
+              }
+            }
+          }
+        });
         FlopCounter::Add(4 * B * Cout * Hout * Wout * Cin * KH * KW);
         return {gx, gw, gb};
       });

@@ -1,8 +1,14 @@
 // Elementwise binary / scalar / unary kernels and the loss compositions.
+//
+// All kernels are embarrassingly parallel over the flat output index and
+// run through ParallelFor in contiguous chunks, so results are bit-identical
+// for any FOCUS_NUM_THREADS. FLOP counts are added once, outside the
+// parallel regions.
 #include <cmath>
 #include <cstring>
 #include <functional>
 
+#include "parallel/thread_pool.h"
 #include "tensor/autograd.h"
 #include "tensor/flops.h"
 #include "tensor/ops.h"
@@ -15,6 +21,10 @@ namespace {
 using internal_ops::BroadcastReadStrides;
 using internal_ops::ReduceGradToShape;
 
+// Minimum elements per shard: below this, pool dispatch costs more than the
+// arithmetic it spreads.
+constexpr int64_t kElemGrain = 16384;
+
 // Applies `f` elementwise with NumPy broadcasting. The fast path covers the
 // overwhelmingly common equal-shape case.
 template <typename F>
@@ -25,7 +35,9 @@ Tensor BinaryKernel(const Tensor& a, const Tensor& b, F f) {
     const float* pb = b.data();
     float* po = out.data();
     const int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) po[i] = f(pa[i], pb[i]);
+    });
     FlopCounter::Add(n);
     return out;
   }
@@ -39,16 +51,18 @@ Tensor BinaryKernel(const Tensor& a, const Tensor& b, F f) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int64_t flat = 0; flat < n; ++flat) {
-    int64_t rem = flat, oa = 0, ob = 0;
-    for (int64_t d = 0; d < rank; ++d) {
-      const int64_t idx = rem / so[d];
-      rem -= idx * so[d];
-      oa += idx * sa[d];
-      ob += idx * sb[d];
+  ParallelFor(0, n, kElemGrain / 4, [&](int64_t f0, int64_t f1) {
+    for (int64_t flat = f0; flat < f1; ++flat) {
+      int64_t rem = flat, oa = 0, ob = 0;
+      for (int64_t d = 0; d < rank; ++d) {
+        const int64_t idx = rem / so[d];
+        rem -= idx * so[d];
+        oa += idx * sa[d];
+        ob += idx * sb[d];
+      }
+      po[flat] = f(pa[oa], pb[ob]);
     }
-    po[flat] = f(pa[oa], pb[ob]);
-  }
+  });
   FlopCounter::Add(n);
   return out;
 }
@@ -62,7 +76,9 @@ Tensor UnaryOp(const Tensor& x, const char* name,
   const float* px = x.data();
   float* po = out.data();
   const int64_t n = x.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = f(px[i]);
+  ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) po[i] = f(px[i]);
+  });
   FlopCounter::Add(2 * n);
 
   Tensor x_saved = x.Detach();
@@ -76,7 +92,11 @@ Tensor UnaryOp(const Tensor& x, const char* name,
         const float* py = y_saved.data();
         float* pi = gin.data();
         const int64_t n = gin.numel();
-        for (int64_t i = 0; i < n; ++i) pi[i] = pg[i] * df(px[i], py[i]);
+        ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            pi[i] = pg[i] * df(px[i], py[i]);
+          }
+        });
         FlopCounter::Add(2 * n);
         return {gin};
       });
@@ -131,7 +151,9 @@ Tensor AddScalar(const Tensor& x, float s) {
   Tensor out = Tensor::Empty(x.shape());
   const float* px = x.data();
   float* po = out.data();
-  for (int64_t i = 0; i < x.numel(); ++i) po[i] = px[i] + s;
+  ParallelFor(0, x.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) po[i] = px[i] + s;
+  });
   FlopCounter::Add(x.numel());
   return autograd::MakeResult(
       out, "AddScalar", {x},
@@ -142,7 +164,9 @@ Tensor MulScalar(const Tensor& x, float s) {
   Tensor out = Tensor::Empty(x.shape());
   const float* px = x.data();
   float* po = out.data();
-  for (int64_t i = 0; i < x.numel(); ++i) po[i] = px[i] * s;
+  ParallelFor(0, x.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) po[i] = px[i] * s;
+  });
   FlopCounter::Add(x.numel());
   return autograd::MakeResult(
       out, "MulScalar", {x}, [s](const Tensor& g) -> std::vector<Tensor> {
@@ -246,7 +270,9 @@ void AddInPlace(Tensor& a, const Tensor& b) {
   float* pa = a.data();
   const float* pb = b.data();
   const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+  ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) pa[i] += pb[i];
+  });
   FlopCounter::Add(n);
 }
 

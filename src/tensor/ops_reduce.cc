@@ -1,4 +1,13 @@
 // Reduction kernels (sum / mean, full and per-axis) and BroadcastTo.
+//
+// Per-axis Sum parallelizes over whichever of the outer/inner index spaces
+// is larger; either way each output element is reduced by exactly one
+// thread, in the serial kernel's r-ascending order, so results are
+// bit-identical for any FOCUS_NUM_THREADS. SumAll stays serial on purpose:
+// its double-precision running sum would change grouping under sharding.
+#include <algorithm>
+
+#include "parallel/thread_pool.h"
 #include "tensor/autograd.h"
 #include "tensor/flops.h"
 #include "tensor/ops.h"
@@ -53,12 +62,33 @@ Tensor Sum(const Tensor& x, int64_t dim, bool keepdim) {
   Tensor out = Tensor::Zeros(out_shape);
   const float* px = x.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t r = 0; r < reduce; ++r) {
-      const float* row = px + (o * reduce + r) * inner;
-      float* orow = po + o * inner;
-      for (int64_t i = 0; i < inner; ++i) orow[i] += row[i];
-    }
+  if (outer >= inner) {
+    // Shards own disjoint outer slices (disjoint output rows).
+    const int64_t grain = std::max<int64_t>(
+        1, 16384 / std::max<int64_t>(1, reduce * inner));
+    ParallelFor(0, outer, grain, [&](int64_t o0, int64_t o1) {
+      for (int64_t o = o0; o < o1; ++o) {
+        float* orow = po + o * inner;
+        for (int64_t r = 0; r < reduce; ++r) {
+          const float* row = px + (o * reduce + r) * inner;
+          for (int64_t i = 0; i < inner; ++i) orow[i] += row[i];
+        }
+      }
+    });
+  } else {
+    // Shards own disjoint inner column ranges of every output row; the
+    // reduction stays r-ascending per element.
+    const int64_t grain =
+        std::max<int64_t>(1, 16384 / std::max<int64_t>(1, outer * reduce));
+    ParallelFor(0, inner, grain, [&](int64_t i0, int64_t i1) {
+      for (int64_t o = 0; o < outer; ++o) {
+        float* orow = po + o * inner;
+        for (int64_t r = 0; r < reduce; ++r) {
+          const float* row = px + (o * reduce + r) * inner;
+          for (int64_t i = i0; i < i1; ++i) orow[i] += row[i];
+        }
+      }
+    });
   }
   FlopCounter::Add(x.numel());
 
@@ -90,15 +120,17 @@ Tensor BroadcastTo(const Tensor& x, const Shape& shape) {
   const int64_t rank = static_cast<int64_t>(shape.size());
   const float* px = x.data();
   float* po = out.data();
-  for (int64_t flat = 0; flat < n; ++flat) {
-    int64_t rem = flat, ox = 0;
-    for (int64_t d = 0; d < rank; ++d) {
-      const int64_t idx = rem / so[d];
-      rem -= idx * so[d];
-      ox += idx * sx[d];
+  ParallelFor(0, n, 4096, [&](int64_t f0, int64_t f1) {
+    for (int64_t flat = f0; flat < f1; ++flat) {
+      int64_t rem = flat, ox = 0;
+      for (int64_t d = 0; d < rank; ++d) {
+        const int64_t idx = rem / so[d];
+        rem -= idx * so[d];
+        ox += idx * sx[d];
+      }
+      po[flat] = px[ox];
     }
-    po[flat] = px[ox];
-  }
+  });
 
   Shape xs = x.shape();
   return autograd::MakeResult(

@@ -1,14 +1,27 @@
 // Fused softmax and layer-norm over the last dimension, with analytic
 // backward passes (avoids long autograd chains in the attention hot path).
+//
+// All passes parallelize over independent rows (or, for the layer-norm
+// parameter gradients, independent column chunks) via ParallelFor; every
+// output element keeps the serial kernel's accumulation order, so results
+// are bit-identical for any FOCUS_NUM_THREADS. FLOPs are counted once from
+// the resolved shapes, outside the parallel regions.
 #include <cmath>
 #include <vector>
 
+#include "parallel/thread_pool.h"
 #include "tensor/autograd.h"
 #include "tensor/flops.h"
 #include "tensor/ops.h"
 #include "tensor/profile_hooks.h"
 
 namespace focus {
+
+namespace {
+// Rows are cheap for small n; shard only when a shard carries at least this
+// many scalar elements so pool dispatch never dominates.
+int64_t RowGrain(int64_t n) { return std::max<int64_t>(1, 4096 / (n + 1)); }
+}  // namespace
 
 Tensor SoftmaxLastDim(const Tensor& x) {
   FOCUS_CHECK_GE(x.dim(), 1);
@@ -19,19 +32,21 @@ Tensor SoftmaxLastDim(const Tensor& x) {
     FOCUS_KERNEL_SCOPE("kernel/softmax");
     const float* px = x.data();
     float* po = out.data();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* xi = px + r * n;
-      float* yi = po + r * n;
-      float max_v = xi[0];
-      for (int64_t i = 1; i < n; ++i) max_v = std::max(max_v, xi[i]);
-      float sum = 0.0f;
-      for (int64_t i = 0; i < n; ++i) {
-        yi[i] = std::exp(xi[i] - max_v);
-        sum += yi[i];
+    ParallelFor(0, rows, RowGrain(n), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* xi = px + r * n;
+        float* yi = po + r * n;
+        float max_v = xi[0];
+        for (int64_t i = 1; i < n; ++i) max_v = std::max(max_v, xi[i]);
+        float sum = 0.0f;
+        for (int64_t i = 0; i < n; ++i) {
+          yi[i] = std::exp(xi[i] - max_v);
+          sum += yi[i];
+        }
+        const float inv = 1.0f / sum;
+        for (int64_t i = 0; i < n; ++i) yi[i] *= inv;
       }
-      const float inv = 1.0f / sum;
-      for (int64_t i = 0; i < n; ++i) yi[i] *= inv;
-    }
+    });
     FlopCounter::Add(5 * x.numel());
   }
 
@@ -44,14 +59,16 @@ Tensor SoftmaxLastDim(const Tensor& x) {
         const float* pg = g.data();
         const float* py = y_saved.data();
         float* pi = gin.data();
-        for (int64_t r = 0; r < rows; ++r) {
-          const float* gi = pg + r * n;
-          const float* yi = py + r * n;
-          float* xi = pi + r * n;
-          float dot = 0.0f;
-          for (int64_t i = 0; i < n; ++i) dot += gi[i] * yi[i];
-          for (int64_t i = 0; i < n; ++i) xi[i] = yi[i] * (gi[i] - dot);
-        }
+        ParallelFor(0, rows, RowGrain(n), [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            const float* gi = pg + r * n;
+            const float* yi = py + r * n;
+            float* xi = pi + r * n;
+            float dot = 0.0f;
+            for (int64_t i = 0; i < n; ++i) dot += gi[i] * yi[i];
+            for (int64_t i = 0; i < n; ++i) xi[i] = yi[i] * (gi[i] - dot);
+          }
+        });
         FlopCounter::Add(4 * y_saved.numel());
         return {gin};
       });
@@ -75,25 +92,29 @@ Tensor LayerNormLastDim(const Tensor& x, const Tensor& gamma,
     const float* pgm = gamma.data();
     const float* pbt = beta.data();
     float* po = out.data();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* xi = px + r * n;
-      float* yi = po + r * n;
-      float mean = 0.0f;
-      for (int64_t i = 0; i < n; ++i) mean += xi[i];
-      mean /= static_cast<float>(n);
-      float var = 0.0f;
-      for (int64_t i = 0; i < n; ++i) {
-        const float d = xi[i] - mean;
-        var += d * d;
+    float* pmeans = means.data();
+    float* prstds = rstds.data();
+    ParallelFor(0, rows, RowGrain(n), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* xi = px + r * n;
+        float* yi = po + r * n;
+        float mean = 0.0f;
+        for (int64_t i = 0; i < n; ++i) mean += xi[i];
+        mean /= static_cast<float>(n);
+        float var = 0.0f;
+        for (int64_t i = 0; i < n; ++i) {
+          const float d = xi[i] - mean;
+          var += d * d;
+        }
+        var /= static_cast<float>(n);
+        const float rstd = 1.0f / std::sqrt(var + eps);
+        pmeans[r] = mean;
+        prstds[r] = rstd;
+        for (int64_t i = 0; i < n; ++i) {
+          yi[i] = (xi[i] - mean) * rstd * pgm[i] + pbt[i];
+        }
       }
-      var /= static_cast<float>(n);
-      const float rstd = 1.0f / std::sqrt(var + eps);
-      means[static_cast<size_t>(r)] = mean;
-      rstds[static_cast<size_t>(r)] = rstd;
-      for (int64_t i = 0; i < n; ++i) {
-        yi[i] = (xi[i] - mean) * rstd * pgm[i] + pbt[i];
-      }
-    }
+    });
     FlopCounter::Add(8 * x.numel());
   }
 
@@ -109,35 +130,53 @@ Tensor LayerNormLastDim(const Tensor& x, const Tensor& gamma,
         const float* pg = g.data();
         const float* px = x_saved.data();
         const float* pgm = gamma_saved.data();
+        const float* pmeans = means.data();
+        const float* prstds = rstds.data();
         float* pgx = gx.data();
         float* pgg = ggamma.data();
         float* pgb = gbeta.data();
         const float inv_n = 1.0f / static_cast<float>(n);
-        for (int64_t r = 0; r < rows; ++r) {
-          const float mean = means[static_cast<size_t>(r)];
-          const float rstd = rstds[static_cast<size_t>(r)];
-          const float* gi = pg + r * n;
-          const float* xi = px + r * n;
-          float* gxi = pgx + r * n;
-          // dxhat_i = g_i * gamma_i; dx from the standard layer-norm
-          // gradient: rstd * (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat)).
-          float sum_dxhat = 0.0f, sum_dxhat_xhat = 0.0f;
-          for (int64_t i = 0; i < n; ++i) {
-            const float xhat = (xi[i] - mean) * rstd;
-            const float dxhat = gi[i] * pgm[i];
-            sum_dxhat += dxhat;
-            sum_dxhat_xhat += dxhat * xhat;
-            pgg[i] += gi[i] * xhat;
-            pgb[i] += gi[i];
+        // dX: rows are independent.
+        ParallelFor(0, rows, RowGrain(n), [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            const float mean = pmeans[r];
+            const float rstd = prstds[r];
+            const float* gi = pg + r * n;
+            const float* xi = px + r * n;
+            float* gxi = pgx + r * n;
+            // dxhat_i = g_i * gamma_i; dx from the standard layer-norm
+            // gradient: rstd * (dxhat - mean(dxhat) - xhat *
+            // mean(dxhat*xhat)).
+            float sum_dxhat = 0.0f, sum_dxhat_xhat = 0.0f;
+            for (int64_t i = 0; i < n; ++i) {
+              const float xhat = (xi[i] - mean) * rstd;
+              const float dxhat = gi[i] * pgm[i];
+              sum_dxhat += dxhat;
+              sum_dxhat_xhat += dxhat * xhat;
+            }
+            sum_dxhat *= inv_n;
+            sum_dxhat_xhat *= inv_n;
+            for (int64_t i = 0; i < n; ++i) {
+              const float xhat = (xi[i] - mean) * rstd;
+              const float dxhat = gi[i] * pgm[i];
+              gxi[i] = rstd * (dxhat - sum_dxhat - xhat * sum_dxhat_xhat);
+            }
           }
-          sum_dxhat *= inv_n;
-          sum_dxhat_xhat *= inv_n;
-          for (int64_t i = 0; i < n; ++i) {
-            const float xhat = (xi[i] - mean) * rstd;
-            const float dxhat = gi[i] * pgm[i];
-            gxi[i] = rstd * (dxhat - sum_dxhat - xhat * sum_dxhat_xhat);
+        });
+        // dgamma/dbeta: columns are independent; the row reduction stays
+        // r-ascending inside each column, matching the serial order.
+        ParallelFor(0, n, 16, [&](int64_t c0, int64_t c1) {
+          for (int64_t r = 0; r < rows; ++r) {
+            const float mean = pmeans[r];
+            const float rstd = prstds[r];
+            const float* gi = pg + r * n;
+            const float* xi = px + r * n;
+            for (int64_t i = c0; i < c1; ++i) {
+              pgg[i] += gi[i] * (xi[i] - mean) * rstd;
+              pgb[i] += gi[i];
+            }
           }
-        }
+        });
         FlopCounter::Add(12 * x_saved.numel());
         // gamma/beta grads must match the parameter shapes exactly.
         return {gx, Reshape(ggamma, gamma_saved.shape()),

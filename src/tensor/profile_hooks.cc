@@ -3,11 +3,18 @@
 namespace focus {
 
 namespace internal_profile {
-KernelProfileHooks g_hooks;
+std::atomic<const KernelProfileHooks*> g_hooks{nullptr};
 }  // namespace internal_profile
 
 void SetKernelProfileHooks(KernelProfileHooks hooks) {
-  internal_profile::g_hooks = hooks;
+  const KernelProfileHooks* table = nullptr;
+  if (hooks.begin != nullptr || hooks.end != nullptr) {
+    // Leaked on purpose: an in-flight KernelProfileScope may still hold a
+    // pointer to a superseded table. Installs happen a handful of times per
+    // process (tracer enable/disable), so the leak is bounded and tiny.
+    table = new KernelProfileHooks(hooks);
+  }
+  internal_profile::g_hooks.store(table, std::memory_order_release);
 }
 
 }  // namespace focus

@@ -2,12 +2,21 @@
 //
 // The tensor kernels (matmul / softmax / layer-norm / conv) can emit
 // per-invocation profile scopes without depending on the observability
-// layer: they call through a pair of process-wide function pointers that
-// src/obs installs when tracing is enabled. When no hooks are installed the
-// cost is a single pointer load and branch per kernel call; defining the
-// build without FOCUS_OBS_KERNELS compiles even that out.
+// layer: they call through a process-wide hook table that src/obs installs
+// when tracing is enabled. When no hooks are installed the cost is a single
+// atomic pointer load and branch per kernel call; defining the build
+// without FOCUS_OBS_KERNELS compiles even that out.
+//
+// Hook install/clear is safe against in-flight kernels: the table is
+// published through an atomic pointer and a KernelProfileScope pins the
+// table it observed at entry, so its end() always pairs with the begin()
+// that fired — even if the hooks are swapped or cleared mid-kernel
+// (FOCUS_NUM_THREADS > 1 runs kernels while e.g. a test thread toggles
+// tracing). Superseded tables are intentionally leaked; installs are rare.
 #ifndef FOCUS_TENSOR_PROFILE_HOOKS_H_
 #define FOCUS_TENSOR_PROFILE_HOOKS_H_
+
+#include <atomic>
 
 namespace focus {
 
@@ -19,35 +28,34 @@ struct KernelProfileHooks {
 };
 
 // Installs (or, with default-constructed hooks, clears) the process-wide
-// kernel hooks. Not thread-safe against in-flight kernels; install before
-// the instrumented workload runs.
+// kernel hooks. May be called at any time, including while kernels run.
 void SetKernelProfileHooks(KernelProfileHooks hooks);
 
 namespace internal_profile {
-extern KernelProfileHooks g_hooks;
+// nullptr when no hooks are installed; otherwise an immutable, leaked table.
+extern std::atomic<const KernelProfileHooks*> g_hooks;
 }  // namespace internal_profile
 
-// RAII scope a kernel places around its compute loop. begin/end only fire
-// while hooks are installed; `began_` guards against hooks being cleared
-// between entry and exit.
+// RAII scope a kernel places around its compute loop. The constructor
+// snapshots the installed table so begin/end fire as a matched pair.
 class KernelProfileScope {
  public:
   explicit KernelProfileScope(const char* name) {
-    if (internal_profile::g_hooks.begin != nullptr) {
-      internal_profile::g_hooks.begin(name);
-      began_ = true;
+    const KernelProfileHooks* hooks =
+        internal_profile::g_hooks.load(std::memory_order_acquire);
+    if (hooks != nullptr && hooks->begin != nullptr) {
+      hooks->begin(name);
+      hooks_ = hooks;
     }
   }
   ~KernelProfileScope() {
-    if (began_ && internal_profile::g_hooks.end != nullptr) {
-      internal_profile::g_hooks.end();
-    }
+    if (hooks_ != nullptr && hooks_->end != nullptr) hooks_->end();
   }
   KernelProfileScope(const KernelProfileScope&) = delete;
   KernelProfileScope& operator=(const KernelProfileScope&) = delete;
 
  private:
-  bool began_ = false;
+  const KernelProfileHooks* hooks_ = nullptr;
 };
 
 }  // namespace focus

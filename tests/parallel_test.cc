@@ -1,0 +1,132 @@
+// ThreadPool / ParallelFor unit tests: coverage of the range split, worker
+// reuse across many regions, exception propagation to the caller, nested
+// ParallelFor serialization, and pool resizing.
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace focus {
+namespace {
+
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ThreadPool::Global().Resize(1); }
+};
+
+TEST_F(ParallelTest, GlobalPoolHasAtLeastOneThread) {
+  EXPECT_GE(ThreadPool::Global().num_threads(), 1);
+}
+
+TEST_F(ParallelTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool::Global().Resize(4);
+  const int64_t n = 10007;  // prime: exercises uneven shard remainders
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(0, n, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_F(ParallelTest, ShardBoundariesAreContiguousAndOrdered) {
+  ThreadPool::Global().Resize(4);
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> shards;
+  ParallelFor(100, 1100, 10, [&](int64_t b, int64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    shards.emplace_back(b, e);
+  });
+  ASSERT_FALSE(shards.empty());
+  EXPECT_LE(shards.size(), 4u);
+  std::sort(shards.begin(), shards.end());
+  EXPECT_EQ(shards.front().first, 100);
+  EXPECT_EQ(shards.back().second, 1100);
+  for (size_t i = 1; i < shards.size(); ++i) {
+    EXPECT_EQ(shards[i - 1].second, shards[i].first) << "gap at shard " << i;
+  }
+}
+
+TEST_F(ParallelTest, EmptyAndTinyRanges) {
+  ThreadPool::Global().Resize(4);
+  int calls = 0;
+  ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // A sub-grain range must collapse to one inline body call.
+  ParallelFor(0, 3, 100, [&](int64_t b, int64_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 3);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ParallelTest, PoolIsReusedAcrossManyRegions) {
+  ThreadPool::Global().Resize(4);
+  std::atomic<int64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    ParallelFor(0, 256, 8, [&](int64_t b, int64_t e) {
+      total.fetch_add(e - b);
+    });
+  }
+  EXPECT_EQ(total.load(), 200 * 256);
+}
+
+TEST_F(ParallelTest, ExceptionPropagatesToCaller) {
+  ThreadPool::Global().Resize(4);
+  EXPECT_THROW(
+      ParallelFor(0, 1000, 1,
+                  [&](int64_t b, int64_t) {
+                    if (b >= 0) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // The pool must stay usable after an exception drained the region.
+  std::atomic<int64_t> total{0};
+  ParallelFor(0, 100, 1,
+              [&](int64_t b, int64_t e) { total.fetch_add(e - b); });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST_F(ParallelTest, NestedParallelForRunsSerially) {
+  ThreadPool::Global().Resize(4);
+  EXPECT_FALSE(InParallelRegion());
+  std::atomic<int64_t> inner_total{0};
+  ParallelFor(0, 8, 1, [&](int64_t b, int64_t e) {
+    EXPECT_TRUE(InParallelRegion());
+    for (int64_t i = b; i < e; ++i) {
+      int inner_calls = 0;
+      ParallelFor(0, 50, 1, [&](int64_t ib, int64_t ie) {
+        ++inner_calls;
+        inner_total.fetch_add(ie - ib);
+      });
+      // Nested: exactly one inline body call covering the full range.
+      EXPECT_EQ(inner_calls, 1);
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 50);
+  EXPECT_FALSE(InParallelRegion());
+}
+
+TEST_F(ParallelTest, ResizeChangesThreadCount) {
+  ThreadPool::Global().Resize(3);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 3);
+  ThreadPool::Global().Resize(1);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 1);
+  // Serial pool still executes work.
+  int64_t sum = 0;
+  ParallelFor(0, 10, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 45);
+}
+
+}  // namespace
+}  // namespace focus

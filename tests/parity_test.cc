@@ -1,0 +1,227 @@
+// Golden parity tests for the parallel kernel layer: every parallelized
+// kernel must produce BIT-IDENTICAL outputs (forward and backward) whether
+// the pool runs with 1 thread or 4. This is the enforcement of the
+// determinism guarantee documented in README "Performance" — the work split
+// never changes any per-element floating-point accumulation order.
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/segment_clustering.h"
+#include "parallel/thread_pool.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace focus {
+namespace {
+
+// Runs `fn` with a 1-thread pool and again with a 4-thread pool and asserts
+// all returned tensors match byte-for-byte.
+void ExpectBitIdenticalAcrossThreadCounts(
+    const std::function<std::vector<Tensor>()>& fn) {
+  ThreadPool::Global().Resize(1);
+  const std::vector<Tensor> serial = fn();
+  ThreadPool::Global().Resize(4);
+  const std::vector<Tensor> pooled = fn();
+  ThreadPool::Global().Resize(1);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (size_t t = 0; t < serial.size(); ++t) {
+    ASSERT_TRUE(serial[t].defined());
+    ASSERT_TRUE(pooled[t].defined());
+    ASSERT_EQ(serial[t].shape(), pooled[t].shape()) << "tensor " << t;
+    const int64_t n = serial[t].numel();
+    ASSERT_EQ(0, std::memcmp(serial[t].data(), pooled[t].data(),
+                             static_cast<size_t>(n) * sizeof(float)))
+        << "tensor " << t << " differs between thread counts";
+  }
+}
+
+// Builds loss = SumAll(out), backprops, and returns {out, grads...}.
+std::vector<Tensor> ForwardBackward(
+    const std::function<Tensor(std::vector<Tensor>&)>& build,
+    const std::function<std::vector<Tensor>()>& make_inputs) {
+  std::vector<Tensor> inputs = make_inputs();
+  for (Tensor& t : inputs) t.SetRequiresGrad(true);
+  Tensor out = build(inputs);
+  SumAll(out).Backward();
+  std::vector<Tensor> result = {out};
+  for (Tensor& t : inputs) result.push_back(t.Grad());
+  return result;
+}
+
+TEST(ParityTest, MatMul2D) {
+  ExpectBitIdenticalAcrossThreadCounts([] {
+    return ForwardBackward(
+        [](std::vector<Tensor>& in) { return MatMul(in[0], in[1]); },
+        [] {
+          Rng rng(7);
+          return std::vector<Tensor>{Tensor::Randn({129, 65}, rng),
+                                     Tensor::Randn({65, 71}, rng)};
+        });
+  });
+}
+
+TEST(ParityTest, MatMulBatched) {
+  ExpectBitIdenticalAcrossThreadCounts([] {
+    return ForwardBackward(
+        [](std::vector<Tensor>& in) { return MatMul(in[0], in[1]); },
+        [] {
+          Rng rng(8);
+          return std::vector<Tensor>{Tensor::Randn({6, 67, 33}, rng),
+                                     Tensor::Randn({6, 33, 41}, rng)};
+        });
+  });
+}
+
+TEST(ParityTest, MatMulBroadcastBatch) {
+  ExpectBitIdenticalAcrossThreadCounts([] {
+    return ForwardBackward(
+        [](std::vector<Tensor>& in) { return MatMul(in[0], in[1]); },
+        [] {
+          Rng rng(9);
+          // 3D lhs against shared 2D rhs: exercises the broadcast-batch
+          // kernel path and the batch-sum in backward.
+          return std::vector<Tensor>{Tensor::Randn({5, 31, 17}, rng),
+                                     Tensor::Randn({17, 23}, rng)};
+        });
+  });
+}
+
+TEST(ParityTest, Conv1dForwardBackward) {
+  ExpectBitIdenticalAcrossThreadCounts([] {
+    return ForwardBackward(
+        [](std::vector<Tensor>& in) {
+          return Conv1d(in[0], in[1], in[2], /*stride=*/2, /*padding=*/3,
+                        /*dilation=*/2);
+        },
+        [] {
+          Rng rng(10);
+          return std::vector<Tensor>{Tensor::Randn({5, 4, 37}, rng),
+                                     Tensor::Randn({6, 4, 5}, rng),
+                                     Tensor::Randn({6}, rng)};
+        });
+  });
+}
+
+TEST(ParityTest, Conv2dForwardBackward) {
+  ExpectBitIdenticalAcrossThreadCounts([] {
+    return ForwardBackward(
+        [](std::vector<Tensor>& in) {
+          return Conv2d(in[0], in[1], in[2], /*stride=*/1, /*padding=*/1);
+        },
+        [] {
+          Rng rng(11);
+          return std::vector<Tensor>{Tensor::Randn({3, 3, 13, 11}, rng),
+                                     Tensor::Randn({5, 3, 3, 3}, rng),
+                                     Tensor::Randn({5}, rng)};
+        });
+  });
+}
+
+TEST(ParityTest, SoftmaxForwardBackward) {
+  ExpectBitIdenticalAcrossThreadCounts([] {
+    return ForwardBackward(
+        [](std::vector<Tensor>& in) { return SoftmaxLastDim(in[0]); },
+        [] {
+          Rng rng(12);
+          return std::vector<Tensor>{Tensor::Randn({61, 47}, rng)};
+        });
+  });
+}
+
+TEST(ParityTest, LayerNormForwardBackward) {
+  ExpectBitIdenticalAcrossThreadCounts([] {
+    return ForwardBackward(
+        [](std::vector<Tensor>& in) {
+          return LayerNormLastDim(in[0], in[1], in[2], 1e-5f);
+        },
+        [] {
+          Rng rng(13);
+          return std::vector<Tensor>{Tensor::Randn({53, 19}, rng),
+                                     Tensor::Randn({19}, rng),
+                                     Tensor::Randn({19}, rng)};
+        });
+  });
+}
+
+TEST(ParityTest, ElementwiseBinaryAndUnary) {
+  ExpectBitIdenticalAcrossThreadCounts([] {
+    return ForwardBackward(
+        [](std::vector<Tensor>& in) {
+          return Gelu(Add(Mul(in[0], in[1]), Sub(in[0], in[1])));
+        },
+        [] {
+          Rng rng(14);
+          return std::vector<Tensor>{Tensor::Randn({100000}, rng),
+                                     Tensor::Randn({100000}, rng)};
+        });
+  });
+}
+
+TEST(ParityTest, BroadcastBinary) {
+  ExpectBitIdenticalAcrossThreadCounts([] {
+    return ForwardBackward(
+        [](std::vector<Tensor>& in) { return Mul(in[0], in[1]); },
+        [] {
+          Rng rng(15);
+          return std::vector<Tensor>{Tensor::Randn({64, 33, 9}, rng),
+                                     Tensor::Randn({33, 1}, rng)};
+        });
+  });
+}
+
+TEST(ParityTest, SumOverEachAxis) {
+  for (int64_t dim = 0; dim < 3; ++dim) {
+    ExpectBitIdenticalAcrossThreadCounts([dim] {
+      return ForwardBackward(
+          [dim](std::vector<Tensor>& in) {
+            return Sum(in[0], dim, /*keepdim=*/false);
+          },
+          [] {
+            Rng rng(16);
+            return std::vector<Tensor>{Tensor::Randn({23, 300, 7}, rng)};
+          });
+    });
+  }
+}
+
+TEST(ParityTest, ClusterAssignment) {
+  Rng rng(17);
+  Tensor segments = Tensor::Randn({4096, 24}, rng);
+  Tensor prototypes = Tensor::Randn({16, 24}, rng);
+  ThreadPool::Global().Resize(1);
+  const auto serial =
+      cluster::SegmentClustering::Assign(segments, prototypes, 0.3f);
+  ThreadPool::Global().Resize(4);
+  const auto pooled =
+      cluster::SegmentClustering::Assign(segments, prototypes, 0.3f);
+  ThreadPool::Global().Resize(1);
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(ParityTest, ClusterFitIsThreadCountInvariant) {
+  Rng rng(18);
+  Tensor segments = Tensor::Randn({512, 16}, rng);
+  cluster::ClusteringConfig cfg;
+  cfg.segment_length = 16;
+  cfg.num_prototypes = 8;
+  cfg.max_iters = 4;
+  cfg.refine_steps = 3;
+  cfg.seed = 19;
+  ThreadPool::Global().Resize(1);
+  const auto serial = cluster::SegmentClustering(cfg).Fit(segments);
+  ThreadPool::Global().Resize(4);
+  const auto pooled = cluster::SegmentClustering(cfg).Fit(segments);
+  ThreadPool::Global().Resize(1);
+  EXPECT_EQ(serial.assignments, pooled.assignments);
+  ASSERT_EQ(serial.prototypes.numel(), pooled.prototypes.numel());
+  EXPECT_EQ(0, std::memcmp(
+                   serial.prototypes.data(), pooled.prototypes.data(),
+                   static_cast<size_t>(serial.prototypes.numel()) *
+                       sizeof(float)));
+}
+
+}  // namespace
+}  // namespace focus
