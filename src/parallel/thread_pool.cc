@@ -65,6 +65,15 @@ void ThreadPool::StopWorkers() {
   workers_.clear();
   std::lock_guard<std::mutex> lock(mu_);
   shutdown_ = false;
+  // Freshly started workers begin with seen_generation = 0. Reset the
+  // dispatch state so they do not mistake a stale generation_ from before
+  // the stop for a newly published region (a phantom pass could otherwise
+  // race with the next RunShards and double-decrement active_workers_).
+  generation_ = 0;
+  nshards_ = 0;
+  next_shard_.store(0, std::memory_order_relaxed);
+  fn_ = nullptr;
+  active_workers_ = 0;
 }
 
 void ThreadPool::Resize(int num_threads) {

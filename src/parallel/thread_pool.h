@@ -61,7 +61,11 @@ class ThreadPool {
 
   // Joins the current workers and re-creates the pool with `num_threads`
   // total threads. Intended for tests and benchmarks that compare thread
-  // counts in-process; must not be called from inside a parallel region.
+  // counts in-process; must not be called from inside a parallel region,
+  // and must not run concurrently with a ParallelFor/RunShards issued from
+  // another thread (RunShards reads the worker list without a lock on its
+  // fast path, so callers provide single-threaded control flow around
+  // Resize — which every test/bench caller does).
   void Resize(int num_threads);
 
   ~ThreadPool();

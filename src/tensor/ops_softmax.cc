@@ -172,7 +172,10 @@ Tensor LayerNormLastDim(const Tensor& x, const Tensor& gamma,
             const float* gi = pg + r * n;
             const float* xi = px + r * n;
             for (int64_t i = c0; i < c1; ++i) {
-              pgg[i] += gi[i] * (xi[i] - mean) * rstd;
+              // xhat first, then gi * xhat — the same association as the
+              // pre-pool serial kernel, so golden values carry over bit-exact.
+              const float xhat = (xi[i] - mean) * rstd;
+              pgg[i] += gi[i] * xhat;
               pgb[i] += gi[i];
             }
           }

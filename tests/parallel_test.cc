@@ -115,6 +115,31 @@ TEST_F(ParallelTest, NestedParallelForRunsSerially) {
   EXPECT_FALSE(InParallelRegion());
 }
 
+TEST_F(ParallelTest, ResizeThenImmediateDispatchIsSafe) {
+  // Regression: workers spawned by Resize start with seen_generation = 0.
+  // If the pool's generation counter were not reset on stop, a fresh worker
+  // would treat the stale counter as an already-published region, run a
+  // phantom pass, and could double-decrement the active-worker count for
+  // the next real region (releasing the caller while a shard is still
+  // executing). Hammer Resize immediately followed by dispatches so a
+  // phantom pass, if reintroduced, overlaps a real region.
+  for (int round = 0; round < 50; ++round) {
+    ThreadPool::Global().Resize(4);
+    for (int region = 0; region < 4; ++region) {
+      const int64_t n = 4096;
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      ParallelFor(0, n, 1, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+      });
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1)
+            << "round " << round << " region " << region << " index " << i;
+      }
+    }
+  }
+}
+
 TEST_F(ParallelTest, ResizeChangesThreadCount) {
   ThreadPool::Global().Resize(3);
   EXPECT_EQ(ThreadPool::Global().num_threads(), 3);
