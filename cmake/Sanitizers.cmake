@@ -1,0 +1,41 @@
+# Sanitizer build configurations for the correctness matrix
+# (scripts/check.sh drives all of them; see README "Correctness tooling").
+#
+#   -DFOCUS_ASAN=ON   AddressSanitizer + UndefinedBehaviorSanitizer,
+#                     non-recoverable: any report aborts the process so a
+#                     passing ctest run certifies zero findings.
+#   -DFOCUS_TSAN=ON   ThreadSanitizer for the parallel kernel layer; the
+#                     test suite adds pooled ctest entries at 4 and 8
+#                     threads (see tests/CMakeLists.txt).
+#
+# Use a separate build directory per sanitizer (the flags are global):
+#   cmake -B build-asan -S . -DFOCUS_ASAN=ON
+#   cmake -B build-tsan -S . -DFOCUS_TSAN=ON
+
+option(FOCUS_ASAN
+  "Build with AddressSanitizer + UndefinedBehaviorSanitizer (fatal reports)"
+  OFF)
+option(FOCUS_TSAN
+  "Build with ThreadSanitizer and add pooled-test entries" OFF)
+
+function(focus_enable_sanitizers)
+  if(FOCUS_ASAN AND FOCUS_TSAN)
+    message(FATAL_ERROR
+      "FOCUS_ASAN and FOCUS_TSAN are mutually exclusive (ASan and TSan "
+      "cannot instrument the same binary); configure separate build dirs.")
+  endif()
+
+  if(FOCUS_ASAN)
+    add_compile_options(
+      -fsanitize=address,undefined
+      -fno-sanitize-recover=all
+      -fno-omit-frame-pointer
+      -g)
+    add_link_options(-fsanitize=address,undefined)
+  endif()
+
+  if(FOCUS_TSAN)
+    add_compile_options(-fsanitize=thread -g -fno-omit-frame-pointer)
+    add_link_options(-fsanitize=thread)
+  endif()
+endfunction()

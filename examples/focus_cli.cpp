@@ -2,13 +2,13 @@
 //
 //   focus_cli generate --dataset=PEMS08 --out=data.csv
 //   focus_cli cluster  --data=data.csv --p=16 --k=16 --out=protos.bin
-//   focus_cli train    --data=data.csv --prototypes=protos.bin \
-//                      --lookback=192 --horizon=96 --steps=200 \
+//   focus_cli train    --data=data.csv --prototypes=protos.bin
+//                      --lookback=192 --horizon=96 --steps=200
 //                      --out=model.ckpt
-//   focus_cli evaluate --data=data.csv --prototypes=protos.bin \
+//   focus_cli evaluate --data=data.csv --prototypes=protos.bin
 //                      --model=model.ckpt --lookback=192 --horizon=96
-//   focus_cli forecast --data=data.csv --prototypes=protos.bin \
-//                      --model=model.ckpt --lookback=192 --horizon=96 \
+//   focus_cli forecast --data=data.csv --prototypes=protos.bin
+//                      --model=model.ckpt --lookback=192 --horizon=96
 //                      [--entity=0] [--window=-1]
 //
 // The offline artifacts (CSV data, prototype file, checkpoint) are exactly

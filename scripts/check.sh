@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# One-command correctness gate: runs the full matrix the CI would run.
+#
+#   1. lint      — scripts/focus_lint.py (repo + format rules), plus
+#                  clang-format/clang-tidy when those tools are installed.
+#   2. default   — Release build with -Werror; full ctest suite.
+#   3. asan      — AddressSanitizer + UBSan (-fno-sanitize-recover): any
+#                  heap error or UB aborts the test.
+#   4. tsan      — ThreadSanitizer; the suite additionally re-runs the
+#                  parallel-sensitive tests with FOCUS_NUM_THREADS=4 and 8
+#                  (registered by tests/CMakeLists.txt under FOCUS_TSAN).
+#
+# Each leg uses its own build directory (build-check / build-asan /
+# build-tsan) so instrumented objects never mix. Sanitizer legs disable
+# benchmarks/examples (FOCUS_BUILD_BENCH=OFF) — they aren't tests and
+# instrumented builds are slow.
+#
+# Usage:
+#   scripts/check.sh                # full matrix
+#   scripts/check.sh lint           # one leg: lint | default | asan | tsan
+#   FOCUS_CHECK_JOBS=8 scripts/check.sh   # override build parallelism
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${FOCUS_CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+cd "$REPO_ROOT"
+
+note() { printf '\n=== check.sh: %s ===\n' "$*"; }
+
+run_leg_lint() {
+  note "lint (focus_lint.py repo+format rules)"
+  python3 scripts/focus_lint.py --rules=repo,format
+
+  if command -v clang-format >/dev/null 2>&1; then
+    note "lint (clang-format --dry-run)"
+    git ls-files 'src/**/*.cc' 'src/**/*.h' 'tests/*.cc' \
+      | xargs clang-format --dry-run --Werror
+  else
+    echo "check.sh: clang-format not installed; skipping (format rules" \
+         "covered by focus_lint.py)"
+  fi
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    note "lint (clang-tidy over src/)"
+    cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DFOCUS_BUILD_BENCH=OFF >/dev/null
+    git ls-files 'src/**/*.cc' | xargs clang-tidy -p build-tidy --quiet
+  else
+    echo "check.sh: clang-tidy not installed; skipping (.clang-tidy config" \
+         "still applies wherever the tool is available)"
+  fi
+}
+
+configure_build_test() {
+  local dir="$1"; shift
+  note "configure $dir ($*)"
+  cmake -B "$dir" -S . "$@" >/dev/null
+  note "build $dir"
+  cmake --build "$dir" -j "$JOBS"
+  note "ctest $dir"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+run_leg_default() {
+  configure_build_test build-check \
+    -DCMAKE_BUILD_TYPE=Release -DFOCUS_WERROR=ON
+}
+
+run_leg_asan() {
+  configure_build_test build-asan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFOCUS_ASAN=ON -DFOCUS_BUILD_BENCH=OFF
+}
+
+run_leg_tsan() {
+  configure_build_test build-tsan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFOCUS_TSAN=ON -DFOCUS_BUILD_BENCH=OFF
+}
+
+LEGS=("${@:-lint default asan tsan}")
+[ $# -gt 0 ] && LEGS=("$@") || LEGS=(lint default asan tsan)
+for leg in "${LEGS[@]}"; do
+  case "$leg" in
+    lint)    run_leg_lint ;;
+    default) run_leg_default ;;
+    asan)    run_leg_asan ;;
+    tsan)    run_leg_tsan ;;
+    *) echo "check.sh: unknown leg '$leg' (want lint|default|asan|tsan)" >&2
+       exit 2 ;;
+  esac
+done
+
+note "all legs passed (${LEGS[*]})"

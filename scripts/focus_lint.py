@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for invariants clang-tidy cannot express.
+
+Rule families (select with --rules=repo,format; default both):
+
+repo rules — correctness contracts from the parallel-kernel layer:
+  flop-in-parallel   FlopCounter mutation inside a ParallelFor / RunShards
+                     body. FLOP counts must be computed once, from resolved
+                     dims, outside the parallel region (PR 2's determinism
+                     contract: counts must not depend on FOCUS_NUM_THREADS,
+                     and the counter must not be contended per-shard).
+  raw-array-new      Raw `new T[...]` in kernel code (src/tensor,
+                     src/parallel). Buffers must go through the tracked
+                     allocator in tensor.cc so MemoryStats stays honest.
+                     Suppress deliberate uses with // NOLINT(focus-raw-new).
+  op-entry-guard     Every public op entry point in src/tensor/ops_*.cc
+                     (a function declared in tensor/ops.h) must open with a
+                     FOCUS_*CHECK validation of its operands.
+
+format rules — mechanical style (what clang-format would enforce; kept
+tool-free so the check runs in a bare container):
+  trailing-space     No trailing whitespace.
+  tab-indent         No hard tabs in C++ sources.
+  final-newline      Files end with exactly one newline.
+  long-line          Lines <= 80 columns (URLs and includes exempt).
+
+Exit status: 0 = clean, 1 = violations (each printed as file:line: rule).
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CXX_GLOBS = ("src/**/*.cc", "src/**/*.h", "tests/*.cc", "tests/*.h")
+KERNEL_DIRS = ("src/tensor", "src/parallel")
+MAX_LINE = 80
+
+violations = []
+
+
+def report(path, line_no, rule, message):
+    violations.append(f"{path.relative_to(REPO_ROOT)}:{line_no}: [{rule}] {message}")
+
+
+def cxx_sources():
+    files = []
+    for pattern in CXX_GLOBS:
+        files.extend(sorted(REPO_ROOT.glob(pattern)))
+    return files
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving offsets."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | 'line' | 'block' | 'str' | 'chr'
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+            elif c == "'":
+                state = "chr"
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # str / chr
+            if c == "\\":
+                out.append("\\x")
+                i += 2
+                continue
+            if (state == "str" and c == '"') or (state == "chr" and c == "'"):
+                state = None
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def matching_paren_span(text, open_idx):
+    """Returns the index one past the ')' matching the '(' at open_idx."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def line_of(text, idx):
+    return text.count("\n", 0, idx) + 1
+
+
+# --- repo rules --------------------------------------------------------------
+
+
+def check_flop_in_parallel(path, raw, code):
+    for m in re.finditer(r"\b(?:ParallelFor|RunShards)\s*\(", code):
+        end = matching_paren_span(code, m.end() - 1)
+        body = code[m.start():end]
+        offset = body.find("FlopCounter::")
+        if offset >= 0:
+            report(path, line_of(code, m.start() + offset), "flop-in-parallel",
+                   "FlopCounter mutated inside a parallel region; hoist the "
+                   "count out of the ParallelFor body")
+
+
+def check_raw_array_new(path, raw, code):
+    if not any(str(path.relative_to(REPO_ROOT)).startswith(d)
+               for d in KERNEL_DIRS):
+        return
+    raw_lines = raw.splitlines()
+    for m in re.finditer(r"\bnew\s+\w[\w:<>\s]*\[", code):
+        ln = line_of(code, m.start())
+        context = " ".join(raw_lines[max(0, ln - 2):ln])
+        if "NOLINT(focus-raw-new)" in context:
+            continue
+        report(path, ln, "raw-array-new",
+               "raw array new in kernel code; allocate through the tracked "
+               "Tensor buffers (or annotate // NOLINT(focus-raw-new))")
+
+
+def public_op_names():
+    """Free functions declared in tensor/ops.h (the public op surface)."""
+    header = strip_comments_and_strings(
+        (REPO_ROOT / "src/tensor/ops.h").read_text())
+    names = set()
+    for m in re.finditer(r"^(?:Tensor|void|Shape)\s+(\w+)\(", header, re.M):
+        names.add(m.group(1))
+    # Declarations wrapped onto the previous line (return type alone).
+    for m in re.finditer(r"^(?:Tensor|void|Shape)\n(\w+)\(", header, re.M):
+        names.add(m.group(1))
+    return names - {"operator"}
+
+
+def check_op_entry_guard(path, raw, code, op_names):
+    if not re.match(r"ops_\w+\.cc$", path.name):
+        return
+    for m in re.finditer(r"^(?:Tensor|void|Shape)\s+(\w+)\(", code, re.M):
+        name = m.group(1)
+        if name not in op_names:
+            continue
+        brace = code.find("{", m.end())
+        if brace < 0:
+            continue
+        # The guard must appear in the opening statements of the body.
+        head = code[brace:brace + 600]
+        if not re.search(r"FOCUS_\w*CHECK", head):
+            report(path, line_of(code, m.start()), "op-entry-guard",
+                   f"public op '{name}' does not open with a FOCUS_CHECK "
+                   "shape/rank/definedness validation")
+
+
+# --- format rules ------------------------------------------------------------
+
+
+def check_format(path, raw):
+    lines = raw.split("\n")
+    for i, line in enumerate(lines, 1):
+        if line != line.rstrip():
+            report(path, i, "trailing-space", "trailing whitespace")
+        if "\t" in line:
+            report(path, i, "tab-indent", "hard tab")
+        if len(line) > MAX_LINE and "http" not in line and "#include" not in line:
+            report(path, i, "long-line",
+                   f"{len(line)} columns (limit {MAX_LINE})")
+    if raw and not raw.endswith("\n"):
+        report(path, len(lines), "final-newline", "missing final newline")
+    elif raw.endswith("\n\n"):
+        report(path, len(lines), "final-newline", "multiple final newlines")
+
+
+# --- driver ------------------------------------------------------------------
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rules", default="repo,format",
+                        help="comma-separated rule families: repo,format")
+    args = parser.parse_args()
+    families = set(args.rules.split(","))
+    unknown = families - {"repo", "format"}
+    if unknown:
+        parser.error(f"unknown rule families: {sorted(unknown)}")
+
+    op_names = public_op_names() if "repo" in families else set()
+    for path in cxx_sources():
+        raw = path.read_text()
+        if "repo" in families:
+            code = strip_comments_and_strings(raw)
+            check_flop_in_parallel(path, raw, code)
+            check_raw_array_new(path, raw, code)
+            check_op_entry_guard(path, raw, code, op_names)
+        if "format" in families:
+            check_format(path, raw)
+
+    if violations:
+        print(f"focus_lint: {len(violations)} violation(s)", file=sys.stderr)
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    print(f"focus_lint: clean ({', '.join(sorted(families))})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

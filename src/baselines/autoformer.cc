@@ -106,7 +106,8 @@ Tensor AutoformerLite::Forward(const Tensor& x) {
     scores.push_back(
         MulScalar(MeanAll(Mul(q, Roll(k, lag, l))), score_scale));
   }
-  Tensor weights = SoftmaxLastDim(Reshape(Cat(scores, 0), {1, static_cast<int64_t>(lags.size())}));
+  Tensor weights = SoftmaxLastDim(
+      Reshape(Cat(scores, 0), {1, static_cast<int64_t>(lags.size())}));
 
   // Time-delay aggregation: sum_k w_k * Roll(V, lag_k).
   Tensor aggregated;

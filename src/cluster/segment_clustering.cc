@@ -182,7 +182,9 @@ double SegmentClustering::Objective(
     const int64_t j = assignments[static_cast<size_t>(i)];
     ++count[static_cast<size_t>(j)];
     const float* seg = segments.data() + i * p;
-    for (int64_t d = 0; d < p; ++d) mean[static_cast<size_t>(j * p + d)] += seg[d];
+    for (int64_t d = 0; d < p; ++d) {
+      mean[static_cast<size_t>(j * p + d)] += seg[d];
+    }
   }
   double rec = 0, corr = 0;
   for (int64_t j = 0; j < k; ++j) {
@@ -290,7 +292,8 @@ ClusteringResult SegmentClustering::Fit(const Tensor& segments) {
         for (int64_t d = 0; d < p; ++d) {
           grad[static_cast<size_t>(j * p + d)] +=
               2.0f * (proto[d] - static_cast<float>(
-                                     bucket_mean[static_cast<size_t>(j * p + d)]));
+                                     bucket_mean[static_cast<size_t>(
+                                         j * p + d)]));
         }
       }
       // d L_corr / d c_j: for each assigned segment s with u = s - mean(s),

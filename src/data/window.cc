@@ -26,7 +26,8 @@ WindowDataset::WindowDataset(Tensor values, int64_t lookback, int64_t horizon,
       << horizon;
 }
 
-Batch WindowDataset::GetBatch(const std::vector<int64_t>& window_indices) const {
+Batch WindowDataset::GetBatch(
+    const std::vector<int64_t>& window_indices) const {
   const int64_t b = static_cast<int64_t>(window_indices.size());
   FOCUS_CHECK_GT(b, 0);
   const int64_t n = values_.size(0), t = values_.size(1);

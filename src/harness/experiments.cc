@@ -27,7 +27,8 @@ ExperimentProfile MakeProfile(data::Profile profile) {
     p.conv_channels = 16;
     p.num_prototypes = 32;
   }
-  p.train_steps = GetEnvIntOr("FOCUS_TRAIN_STEPS", p.train_steps);
+  p.train_steps = GetEnvIntInRangeOr("FOCUS_TRAIN_STEPS", p.train_steps, 1,
+                                     1'000'000'000);
   return p;
 }
 

@@ -19,7 +19,8 @@ TrainResult TrainModel(ForecastModel& model, const data::WindowDataset& train,
   Stopwatch timer;
   Rng rng(config.seed);
   optim::AdamW opt(model.Parameters(), config.lr, config.weight_decay);
-  optim::CosineDecayLr schedule(config.lr, std::max<int64_t>(config.max_steps, 1),
+  optim::CosineDecayLr schedule(config.lr,
+                                std::max<int64_t>(config.max_steps, 1),
                                 config.lr * 0.1f);
   model.SetTraining(true);
 

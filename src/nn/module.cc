@@ -48,7 +48,7 @@ int64_t Module::NumParameters() const {
 }
 
 void Module::ZeroGrad() {
-  for (Tensor p : Parameters()) p.ZeroGrad();
+  for (Tensor& p : Parameters()) p.ZeroGrad();
 }
 
 void Module::SetTraining(bool training) {

@@ -234,8 +234,8 @@ Tracer& Tracer::Get() {
   // FOCUS_OBS_KERNEL_SAMPLE from the environment.
   static Tracer* tracer = [] {
     Tracer* t = new Tracer();
-    t->kernel_sample_ = static_cast<int>(
-        GetEnvIntOr("FOCUS_OBS_KERNEL_SAMPLE", t->kernel_sample_));
+    t->kernel_sample_ = static_cast<int>(GetEnvIntInRangeOr(
+        "FOCUS_OBS_KERNEL_SAMPLE", t->kernel_sample_, 1, 1 << 20));
     const std::string path = GetEnvOr("FOCUS_TRACE", "");
     if (!path.empty()) t->SetOutput(path, FormatForPath(path));
     return t;
@@ -346,7 +346,9 @@ TraceSpan::~TraceSpan() {
   if (region_set_) internal_flops::SetRegion(prev_region_);
   if (!active_) return;
   ThreadState& state = State();
-  if (!state.stack.empty() && state.stack.back() == this) state.stack.pop_back();
+  if (!state.stack.empty() && state.stack.back() == this) {
+    state.stack.pop_back();
+  }
   const int64_t end_ts = NowUs();
   const int64_t inclusive_flops = FlopCounter::Count() - start_flops_;
   const int64_t span_peak = MemoryStats::PeakBytes();

@@ -16,7 +16,7 @@ Optimizer::Optimizer(std::vector<Tensor> params, float lr)
 }
 
 void Optimizer::ZeroGrad() {
-  for (Tensor p : params_) p.ZeroGrad();
+  for (Tensor& p : params_) p.ZeroGrad();
 }
 
 Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)

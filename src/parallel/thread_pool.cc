@@ -23,7 +23,10 @@ struct RegionGuard {
 };
 
 int DefaultNumThreads() {
-  long n = GetEnvIntOr("FOCUS_NUM_THREADS", 0);
+  // 0 means "auto" (hardware concurrency); explicit values must land in
+  // [1, 256]. Garbage or out-of-range values warn and fall back to auto
+  // instead of silently resizing the pool (see GetEnvIntInRangeOr).
+  long n = GetEnvIntInRangeOr("FOCUS_NUM_THREADS", 0, 1, 256);
   if (n <= 0) {
     n = static_cast<long>(std::thread::hardware_concurrency());
   }

@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "tensor/debug_guard.h"
 #include "tensor/ops.h"
 
 namespace focus {
@@ -10,6 +11,11 @@ namespace autograd {
 
 Tensor MakeResult(Tensor out, std::string name, std::vector<Tensor> inputs,
                   Node::BackwardFn backward) {
+  // Central numeric guard: every differentiable op funnels its output
+  // through here, so one hook attributes NaN/Inf to the producing op for
+  // all of ops_*.cc. Runs before the grad-mode early-outs so inference and
+  // backward-internal ops are covered too.
+  debug::CheckFiniteOutput(out, name);
   if (!GradMode::IsEnabled()) return out;
   bool any_requires = false;
   for (const Tensor& in : inputs) {
@@ -93,14 +99,29 @@ void RunBackward(const Tensor& root) {
   std::unordered_map<TensorImpl*, Tensor> grads;
   grads[root.impl().get()] = Tensor::Ones(root.shape());
 
+  const bool audit = debug::ChecksEnabled();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* node = *it;
     std::shared_ptr<TensorImpl> out_impl = node->output();
-    if (!out_impl) continue;  // Output was never reachable; nothing to do.
+    if (!out_impl) {
+      // A reachable node always has a live output (its consumers hold it as
+      // an input); an expired output means gradient is about to be dropped.
+      FOCUS_DEBUG_CHECK(false)
+          << "autograd audit: node '" << node->name()
+          << "' lost its output buffer before backward reached it "
+             "(dangling gradient)";
+      continue;  // Output was never reachable; nothing to do.
+    }
     auto grad_it = grads.find(out_impl.get());
     if (grad_it == grads.end()) continue;  // No gradient flowed here.
     Tensor grad_out = grad_it->second;
     grads.erase(grad_it);
+
+    FOCUS_DEBUG_CHECK_EQ(node->backward_runs(), 0)
+        << "autograd audit: double backward through node '" << node->name()
+        << "' — its intermediate gradients were freed by the previous "
+           "backward pass";
+    node->mark_backward_run();
 
     std::vector<Tensor> grad_inputs = node->Backward(grad_out);
     FOCUS_CHECK_EQ(grad_inputs.size(), node->inputs().size())
@@ -110,6 +131,12 @@ void RunBackward(const Tensor& root) {
       const Tensor& input = node->inputs()[i];
       Tensor& g = grad_inputs[i];
       if (!g.defined()) continue;
+      if (audit) {
+        // Backward closures that write gradients directly (softmax,
+        // layernorm, conv) bypass MakeResult's guard; cover them here.
+        debug::CheckFiniteOutput(
+            g, node->name() + ".backward[" + std::to_string(i) + "]");
+      }
       if (!input.defined() || !input.requires_grad()) continue;
       FOCUS_CHECK(g.shape() == input.shape())
           << "backward of " << node->name() << " produced grad "
@@ -128,6 +155,13 @@ void RunBackward(const Tensor& root) {
       }
     }
   }
+
+  // Every accumulated gradient must have been consumed by its node; a
+  // leftover entry means gradient flowed into a tensor whose node never
+  // executed — a dangling gradient buffer.
+  FOCUS_DEBUG_CHECK(grads.empty())
+      << "autograd audit: " << grads.size()
+      << " gradient buffer(s) left dangling after backward";
 }
 
 }  // namespace autograd

@@ -45,12 +45,20 @@ class Node {
   void set_output(const std::shared_ptr<TensorImpl>& impl) { output_ = impl; }
   std::shared_ptr<TensorImpl> output() const { return output_.lock(); }
 
+  // Graph-audit state (FOCUS_DEBUG_CHECK tier): how many backward passes
+  // have executed this node. RunBackward frees intermediate gradients as it
+  // consumes them, so a second pass through the same node runs on a freed
+  // graph; the auditor aborts instead of producing silently-wrong grads.
+  int backward_runs() const { return backward_runs_; }
+  void mark_backward_run() { ++backward_runs_; }
+
  private:
   std::string name_;
   std::vector<Tensor> inputs_;
   BackwardFn backward_;
   // Weak: the output impl owns this node, not vice versa.
   std::weak_ptr<TensorImpl> output_;
+  int backward_runs_ = 0;
 };
 
 // Wires `out` into the tape if grad mode is on and any input requires grad.

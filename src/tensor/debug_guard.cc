@@ -1,0 +1,40 @@
+#include "tensor/debug_guard.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "utils/check.h"
+
+namespace focus {
+namespace debug {
+
+void CheckFiniteOutput(const Tensor& out, const char* context) {
+  if (!ChecksEnabled() || !out.defined()) return;
+  const float* p = out.data();
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) {
+      FOCUS_FATAL("debug check: op '"
+                  << context << "' produced non-finite value " << p[i]
+                  << " at output index " << i << " (shape "
+                  << ShapeToString(out.shape()) << ")");
+    }
+  }
+}
+
+void CheckInPlaceNoAlias(const Tensor& dst, const Tensor& src,
+                         const char* op) {
+  if (!ChecksEnabled() || !dst.defined() || !src.defined()) return;
+  const float* d0 = dst.data();
+  const float* d1 = d0 + dst.numel();
+  const float* s0 = src.data();
+  const float* s1 = s0 + src.numel();
+  FOCUS_DEBUG_CHECK(s1 <= d0 || d1 <= s0)
+      << "debug check: in-place op '" << op
+      << "' source aliases its destination buffer (dst "
+      << ShapeToString(dst.shape()) << ", src " << ShapeToString(src.shape())
+      << ")";
+}
+
+}  // namespace debug
+}  // namespace focus

@@ -1,0 +1,44 @@
+// Runtime invariant guards for tensor / autograd kernels (the
+// FOCUS_DEBUG_CHECK tier; see utils/check.h for how the tier is enabled).
+//
+// Three guard families, all no-ops (one predictable branch) while
+// debug::ChecksEnabled() is false:
+//
+//  * Numeric guards: after every differentiable op, scan the output for
+//    NaN/Inf and abort naming the producing op and the offending flat index.
+//    Hooked centrally in autograd::MakeResult, so every kernel in
+//    ops_*.cc is covered without per-op code; RunBackward additionally
+//    guards each gradient a backward closure produces.
+//  * Aliasing guards: in-place ops must not read a buffer that overlaps
+//    their destination (the update would observe partially-written data).
+//  * Graph-audit guards (see autograd.cc): double-backward through an
+//    already-consumed tape and gradients left dangling after a backward
+//    pass (a node whose output buffer died while its gradient was pending).
+#ifndef FOCUS_TENSOR_DEBUG_GUARD_H_
+#define FOCUS_TENSOR_DEBUG_GUARD_H_
+
+#include <string>
+
+#include "tensor/tensor.h"
+#include "utils/check.h"
+
+namespace focus {
+namespace debug {
+
+// Aborts with the op name, value, and flat index if `out` contains a
+// non-finite value. `context` distinguishes forward outputs from backward
+// gradients (e.g. "MatMul" vs "MatMul.backward[0]").
+void CheckFiniteOutput(const Tensor& out, const char* context);
+inline void CheckFiniteOutput(const Tensor& out, const std::string& context) {
+  if (ChecksEnabled()) CheckFiniteOutput(out, context.c_str());
+}
+
+// Aborts if `src` overlaps `dst`'s buffer: an in-place kernel reading an
+// overlapping source observes its own partial writes. `op` names the
+// in-place entry point for the report.
+void CheckInPlaceNoAlias(const Tensor& dst, const Tensor& src, const char* op);
+
+}  // namespace debug
+}  // namespace focus
+
+#endif  // FOCUS_TENSOR_DEBUG_GUARD_H_

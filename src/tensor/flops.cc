@@ -17,8 +17,8 @@ std::atomic<int64_t> g_flops{0};
 thread_local const char* tl_region = nullptr;
 
 struct RegionEntry {
-  const char* name;
-  int64_t flops;
+  const char* name = nullptr;
+  int64_t flops = 0;
 };
 std::mutex g_regions_mu;
 // Small flat store: region sets are tiny (a handful per model), and pointer

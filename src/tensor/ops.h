@@ -23,12 +23,12 @@ inline Tensor operator-(const Tensor& a, const Tensor& b) { return Sub(a, b); }
 inline Tensor operator*(const Tensor& a, const Tensor& b) { return Mul(a, b); }
 inline Tensor operator/(const Tensor& a, const Tensor& b) { return Div(a, b); }
 
-// --- Scalar ------------------------------------------------------------------
+// --- Scalar -----------------------------------------------------------------
 Tensor AddScalar(const Tensor& x, float s);
 Tensor MulScalar(const Tensor& x, float s);
 Tensor PowScalar(const Tensor& x, float p);
 
-// --- Unary -------------------------------------------------------------------
+// --- Unary ------------------------------------------------------------------
 Tensor Neg(const Tensor& x);
 Tensor Exp(const Tensor& x);
 Tensor Log(const Tensor& x);    // CHECKs on non-positive inputs in debug use.
@@ -39,18 +39,18 @@ Tensor Gelu(const Tensor& x);   // tanh approximation
 Tensor Sigmoid(const Tensor& x);
 Tensor Tanh(const Tensor& x);
 
-// --- Linear algebra ----------------------------------------------------------
+// --- Linear algebra ---------------------------------------------------------
 // Supports (m,k)x(k,n), batched (b,m,k)x(b,k,n), and broadcast
 // (b,m,k)x(k,n) / (m,k)x(b,k,n).
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
-// --- Reductions ----------------------------------------------------------------
+// --- Reductions --------------------------------------------------------------
 Tensor SumAll(const Tensor& x);    // -> shape {1}
 Tensor MeanAll(const Tensor& x);   // -> shape {1}
 Tensor Sum(const Tensor& x, int64_t dim, bool keepdim);
 Tensor Mean(const Tensor& x, int64_t dim, bool keepdim);
 
-// --- Normalization / attention helpers ----------------------------------------
+// --- Normalization / attention helpers ---------------------------------------
 // Softmax over the last dimension (numerically stabilized, fused backward).
 Tensor SoftmaxLastDim(const Tensor& x);
 // LayerNorm over the last dimension with affine params gamma/beta of shape
@@ -58,7 +58,7 @@ Tensor SoftmaxLastDim(const Tensor& x);
 Tensor LayerNormLastDim(const Tensor& x, const Tensor& gamma,
                         const Tensor& beta, float eps = 1e-5f);
 
-// --- Shape -------------------------------------------------------------------
+// --- Shape ------------------------------------------------------------------
 Tensor Reshape(const Tensor& x, Shape shape);           // aliases the buffer
 Tensor Transpose(const Tensor& x, int64_t d0, int64_t d1);  // materializes
 Tensor Permute(const Tensor& x, const std::vector<int64_t>& dims);
@@ -71,7 +71,7 @@ Tensor IndexSelect(const Tensor& x, int64_t dim,
 // Materialized NumPy-style broadcast to `shape`.
 Tensor BroadcastTo(const Tensor& x, const Shape& shape);
 
-// --- Convolution ---------------------------------------------------------------
+// --- Convolution -------------------------------------------------------------
 // x: (B, Cin, L), w: (Cout, Cin, K), optional bias (Cout).
 Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias,
               int64_t stride = 1, int64_t padding = 0, int64_t dilation = 1);
@@ -79,11 +79,11 @@ Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias,
 Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
               int64_t stride = 1, int64_t padding = 0);
 
-// --- Losses ---------------------------------------------------------------------
+// --- Losses ------------------------------------------------------------------
 Tensor MseLoss(const Tensor& pred, const Tensor& target);
 Tensor L1Loss(const Tensor& pred, const Tensor& target);
 
-// --- Non-differentiable helpers ---------------------------------------------------
+// --- Non-differentiable helpers ----------------------------------------------
 // a += b with equal shapes; bypasses autograd (used by the engine/optimizers).
 void AddInPlace(Tensor& a, const Tensor& b);
 

@@ -6,6 +6,13 @@
 
 #include "tensor/tensor.h"
 
+// Opens every public op entry point in ops_*.cc (enforced by
+// scripts/focus_lint.py): CHECKs the operand is defined before any shape or
+// data access, so a misuse fails with the op's name instead of a CHECK deep
+// inside Tensor accessors.
+#define FOCUS_OP_INPUT_CHECK(op_name, t) \
+  FOCUS_CHECK((t).defined()) << op_name << ": undefined input tensor"
+
 namespace focus {
 namespace internal_ops {
 

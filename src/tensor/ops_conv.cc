@@ -15,12 +15,15 @@
 #include "tensor/autograd.h"
 #include "tensor/flops.h"
 #include "tensor/ops.h"
+#include "tensor/ops_common.h"
 #include "tensor/profile_hooks.h"
 
 namespace focus {
 
 Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias,
               int64_t stride, int64_t padding, int64_t dilation) {
+  FOCUS_OP_INPUT_CHECK("Conv1d", x);
+  FOCUS_OP_INPUT_CHECK("Conv1d", w);
   FOCUS_CHECK_EQ(x.dim(), 3) << "Conv1d expects (B, Cin, L)";
   FOCUS_CHECK_EQ(w.dim(), 3) << "Conv1d expects weight (Cout, Cin, K)";
   const int64_t B = x.size(0), Cin = x.size(1), L = x.size(2);
@@ -135,6 +138,8 @@ Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias,
 
 Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
               int64_t stride, int64_t padding) {
+  FOCUS_OP_INPUT_CHECK("Conv2d", x);
+  FOCUS_OP_INPUT_CHECK("Conv2d", w);
   FOCUS_CHECK_EQ(x.dim(), 4) << "Conv2d expects (B, Cin, H, W)";
   FOCUS_CHECK_EQ(w.dim(), 4) << "Conv2d expects weight (Cout, Cin, KH, KW)";
   const int64_t B = x.size(0), Cin = x.size(1), H = x.size(2), W = x.size(3);

@@ -10,6 +10,7 @@
 
 #include "parallel/thread_pool.h"
 #include "tensor/autograd.h"
+#include "tensor/debug_guard.h"
 #include "tensor/flops.h"
 #include "tensor/ops.h"
 #include "tensor/ops_common.h"
@@ -105,6 +106,8 @@ Tensor UnaryOp(const Tensor& x, const char* name,
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
+  FOCUS_OP_INPUT_CHECK("Add", a);
+  FOCUS_OP_INPUT_CHECK("Add", b);
   Tensor out = BinaryKernel(a, b, [](float x, float y) { return x + y; });
   Shape sa = a.shape(), sb = b.shape();
   return autograd::MakeResult(
@@ -114,6 +117,8 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
+  FOCUS_OP_INPUT_CHECK("Sub", a);
+  FOCUS_OP_INPUT_CHECK("Sub", b);
   Tensor out = BinaryKernel(a, b, [](float x, float y) { return x - y; });
   Shape sa = a.shape(), sb = b.shape();
   return autograd::MakeResult(
@@ -124,6 +129,8 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
+  FOCUS_OP_INPUT_CHECK("Mul", a);
+  FOCUS_OP_INPUT_CHECK("Mul", b);
   Tensor out = BinaryKernel(a, b, [](float x, float y) { return x * y; });
   Tensor ad = a.Detach(), bd = b.Detach();
   return autograd::MakeResult(
@@ -135,6 +142,8 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
+  FOCUS_OP_INPUT_CHECK("Div", a);
+  FOCUS_OP_INPUT_CHECK("Div", b);
   Tensor out = BinaryKernel(a, b, [](float x, float y) { return x / y; });
   Tensor ad = a.Detach(), bd = b.Detach();
   return autograd::MakeResult(
@@ -148,6 +157,7 @@ Tensor Div(const Tensor& a, const Tensor& b) {
 }
 
 Tensor AddScalar(const Tensor& x, float s) {
+  FOCUS_OP_INPUT_CHECK("AddScalar", x);
   Tensor out = Tensor::Empty(x.shape());
   const float* px = x.data();
   float* po = out.data();
@@ -161,6 +171,7 @@ Tensor AddScalar(const Tensor& x, float s) {
 }
 
 Tensor MulScalar(const Tensor& x, float s) {
+  FOCUS_OP_INPUT_CHECK("MulScalar", x);
   Tensor out = Tensor::Empty(x.shape());
   const float* px = x.data();
   float* po = out.data();
@@ -176,48 +187,56 @@ Tensor MulScalar(const Tensor& x, float s) {
 }
 
 Tensor PowScalar(const Tensor& x, float p) {
+  FOCUS_OP_INPUT_CHECK("PowScalar", x);
   return UnaryOp(
       x, "PowScalar", [p](float v) { return std::pow(v, p); },
       [p](float v, float) { return p * std::pow(v, p - 1.0f); });
 }
 
 Tensor Neg(const Tensor& x) {
+  FOCUS_OP_INPUT_CHECK("Neg", x);
   return UnaryOp(
       x, "Neg", [](float v) { return -v; },
       [](float, float) { return -1.0f; });
 }
 
 Tensor Exp(const Tensor& x) {
+  FOCUS_OP_INPUT_CHECK("Exp", x);
   return UnaryOp(
       x, "Exp", [](float v) { return std::exp(v); },
       [](float, float y) { return y; });
 }
 
 Tensor Log(const Tensor& x) {
+  FOCUS_OP_INPUT_CHECK("Log", x);
   return UnaryOp(
       x, "Log", [](float v) { return std::log(v); },
       [](float v, float) { return 1.0f / v; });
 }
 
 Tensor Sqrt(const Tensor& x) {
+  FOCUS_OP_INPUT_CHECK("Sqrt", x);
   return UnaryOp(
       x, "Sqrt", [](float v) { return std::sqrt(v); },
       [](float, float y) { return 0.5f / y; });
 }
 
 Tensor Abs(const Tensor& x) {
+  FOCUS_OP_INPUT_CHECK("Abs", x);
   return UnaryOp(
       x, "Abs", [](float v) { return std::fabs(v); },
       [](float v, float) { return v > 0 ? 1.0f : (v < 0 ? -1.0f : 0.0f); });
 }
 
 Tensor Relu(const Tensor& x) {
+  FOCUS_OP_INPUT_CHECK("Relu", x);
   return UnaryOp(
       x, "Relu", [](float v) { return v > 0 ? v : 0.0f; },
       [](float v, float) { return v > 0 ? 1.0f : 0.0f; });
 }
 
 Tensor Gelu(const Tensor& x) {
+  FOCUS_OP_INPUT_CHECK("Gelu", x);
   // tanh approximation: 0.5 x (1 + tanh(c (x + 0.044715 x^3))),
   // c = sqrt(2/pi).
   constexpr float kC = 0.7978845608028654f;
@@ -237,6 +256,7 @@ Tensor Gelu(const Tensor& x) {
 }
 
 Tensor Sigmoid(const Tensor& x) {
+  FOCUS_OP_INPUT_CHECK("Sigmoid", x);
   return UnaryOp(
       x, "Sigmoid",
       [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
@@ -244,12 +264,15 @@ Tensor Sigmoid(const Tensor& x) {
 }
 
 Tensor Tanh(const Tensor& x) {
+  FOCUS_OP_INPUT_CHECK("Tanh", x);
   return UnaryOp(
       x, "Tanh", [](float v) { return std::tanh(v); },
       [](float, float y) { return 1.0f - y * y; });
 }
 
 Tensor MseLoss(const Tensor& pred, const Tensor& target) {
+  FOCUS_OP_INPUT_CHECK("MseLoss", pred);
+  FOCUS_OP_INPUT_CHECK("MseLoss", target);
   FOCUS_CHECK(pred.shape() == target.shape())
       << "MseLoss shape mismatch: " << ShapeToString(pred.shape()) << " vs "
       << ShapeToString(target.shape());
@@ -258,15 +281,20 @@ Tensor MseLoss(const Tensor& pred, const Tensor& target) {
 }
 
 Tensor L1Loss(const Tensor& pred, const Tensor& target) {
+  FOCUS_OP_INPUT_CHECK("L1Loss", pred);
+  FOCUS_OP_INPUT_CHECK("L1Loss", target);
   FOCUS_CHECK(pred.shape() == target.shape())
       << "L1Loss shape mismatch";
   return MeanAll(Abs(Sub(pred, target)));
 }
 
 void AddInPlace(Tensor& a, const Tensor& b) {
+  FOCUS_OP_INPUT_CHECK("AddInPlace", a);
+  FOCUS_OP_INPUT_CHECK("AddInPlace", b);
   FOCUS_CHECK(a.shape() == b.shape())
       << "AddInPlace shape mismatch: " << ShapeToString(a.shape()) << " vs "
       << ShapeToString(b.shape());
+  debug::CheckInPlaceNoAlias(a, b, "AddInPlace");
   float* pa = a.data();
   const float* pb = b.data();
   const int64_t n = a.numel();
@@ -274,6 +302,7 @@ void AddInPlace(Tensor& a, const Tensor& b) {
     for (int64_t i = i0; i < i1; ++i) pa[i] += pb[i];
   });
   FlopCounter::Add(n);
+  debug::CheckFiniteOutput(a, "AddInPlace");
 }
 
 }  // namespace focus

@@ -124,6 +124,8 @@ MatMulDims ResolveDims(const Tensor& a, const Tensor& b) {
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  FOCUS_OP_INPUT_CHECK("MatMul", a);
+  FOCUS_OP_INPUT_CHECK("MatMul", b);
   const MatMulDims d = ResolveDims(a, b);
   const bool batched_out = (a.dim() == 3 || b.dim() == 3);
   Shape out_shape = batched_out ? Shape{d.batch, d.m, d.n} : Shape{d.m, d.n};

@@ -20,6 +20,7 @@ using internal_ops::NormalizeDim;
 }  // namespace
 
 Tensor SumAll(const Tensor& x) {
+  FOCUS_OP_INPUT_CHECK("SumAll", x);
   double acc = 0.0;  // double accumulator for numerical robustness
   const float* px = x.data();
   const int64_t n = x.numel();
@@ -34,11 +35,13 @@ Tensor SumAll(const Tensor& x) {
 }
 
 Tensor MeanAll(const Tensor& x) {
+  FOCUS_OP_INPUT_CHECK("MeanAll", x);
   const float inv_n = 1.0f / static_cast<float>(x.numel());
   return MulScalar(SumAll(x), inv_n);
 }
 
 Tensor Sum(const Tensor& x, int64_t dim, bool keepdim) {
+  FOCUS_OP_INPUT_CHECK("Sum", x);
   dim = NormalizeDim(dim, x.dim());
   const Shape& xs = x.shape();
   Shape out_shape;
@@ -104,12 +107,14 @@ Tensor Sum(const Tensor& x, int64_t dim, bool keepdim) {
 }
 
 Tensor Mean(const Tensor& x, int64_t dim, bool keepdim) {
+  FOCUS_OP_INPUT_CHECK("Mean", x);
   const int64_t d = NormalizeDim(dim, x.dim());
   const float inv = 1.0f / static_cast<float>(x.size(d));
   return MulScalar(Sum(x, d, keepdim), inv);
 }
 
 Tensor BroadcastTo(const Tensor& x, const Shape& shape) {
+  FOCUS_OP_INPUT_CHECK("BroadcastTo", x);
   if (x.shape() == shape) return x.Clone();
   FOCUS_CHECK_LE(x.dim(), static_cast<int64_t>(shape.size()))
       << "BroadcastTo cannot reduce rank";

@@ -15,6 +15,7 @@ using internal_ops::Strides;
 }  // namespace
 
 Tensor Reshape(const Tensor& x, Shape shape) {
+  FOCUS_OP_INPUT_CHECK("Reshape", x);
   // Allow one inferred dimension (-1).
   int64_t infer = -1;
   int64_t known = 1;
@@ -47,6 +48,7 @@ Tensor Reshape(const Tensor& x, Shape shape) {
 }
 
 Tensor Permute(const Tensor& x, const std::vector<int64_t>& dims) {
+  FOCUS_OP_INPUT_CHECK("Permute", x);
   const int64_t rank = x.dim();
   FOCUS_CHECK_EQ(static_cast<int64_t>(dims.size()), rank);
   std::vector<bool> seen(static_cast<size_t>(rank), false);
@@ -69,7 +71,8 @@ Tensor Permute(const Tensor& x, const std::vector<int64_t>& dims) {
     for (int64_t d = 0; d < rank; ++d) {
       const int64_t idx = rem / out_strides[static_cast<size_t>(d)];
       rem -= idx * out_strides[static_cast<size_t>(d)];
-      off += idx * in_strides[static_cast<size_t>(dims[static_cast<size_t>(d)])];
+      off +=
+          idx * in_strides[static_cast<size_t>(dims[static_cast<size_t>(d)])];
     }
     po[flat] = px[off];
   }
@@ -87,6 +90,7 @@ Tensor Permute(const Tensor& x, const std::vector<int64_t>& dims) {
 }
 
 Tensor Transpose(const Tensor& x, int64_t d0, int64_t d1) {
+  FOCUS_OP_INPUT_CHECK("Transpose", x);
   const int64_t rank = x.dim();
   d0 = NormalizeDim(d0, rank);
   d1 = NormalizeDim(d1, rank);
@@ -97,6 +101,7 @@ Tensor Transpose(const Tensor& x, int64_t d0, int64_t d1) {
 }
 
 Tensor Slice(const Tensor& x, int64_t dim, int64_t start, int64_t end) {
+  FOCUS_OP_INPUT_CHECK("Slice", x);
   dim = NormalizeDim(dim, x.dim());
   const int64_t size = x.size(dim);
   if (start < 0) start += size;
@@ -139,6 +144,7 @@ Tensor Slice(const Tensor& x, int64_t dim, int64_t start, int64_t end) {
 
 Tensor Cat(const std::vector<Tensor>& tensors, int64_t dim) {
   FOCUS_CHECK(!tensors.empty()) << "Cat of zero tensors";
+  for (const Tensor& t : tensors) FOCUS_OP_INPUT_CHECK("Cat", t);
   const int64_t rank = tensors[0].dim();
   dim = NormalizeDim(dim, rank);
   Shape out_shape = tensors[0].shape();
@@ -192,6 +198,7 @@ Tensor Cat(const std::vector<Tensor>& tensors, int64_t dim) {
 
 Tensor IndexSelect(const Tensor& x, int64_t dim,
                    const std::vector<int64_t>& indices) {
+  FOCUS_OP_INPUT_CHECK("IndexSelect", x);
   dim = NormalizeDim(dim, x.dim());
   const int64_t size = x.size(dim);
   for (int64_t idx : indices) {

@@ -13,6 +13,7 @@
 #include "tensor/autograd.h"
 #include "tensor/flops.h"
 #include "tensor/ops.h"
+#include "tensor/ops_common.h"
 #include "tensor/profile_hooks.h"
 
 namespace focus {
@@ -24,6 +25,7 @@ int64_t RowGrain(int64_t n) { return std::max<int64_t>(1, 4096 / (n + 1)); }
 }  // namespace
 
 Tensor SoftmaxLastDim(const Tensor& x) {
+  FOCUS_OP_INPUT_CHECK("SoftmaxLastDim", x);
   FOCUS_CHECK_GE(x.dim(), 1);
   const int64_t n = x.size(-1);
   const int64_t rows = x.numel() / n;
@@ -76,6 +78,9 @@ Tensor SoftmaxLastDim(const Tensor& x) {
 
 Tensor LayerNormLastDim(const Tensor& x, const Tensor& gamma,
                         const Tensor& beta, float eps) {
+  FOCUS_OP_INPUT_CHECK("LayerNorm", x);
+  FOCUS_OP_INPUT_CHECK("LayerNorm", gamma);
+  FOCUS_OP_INPUT_CHECK("LayerNorm", beta);
   FOCUS_CHECK_GE(x.dim(), 1);
   const int64_t n = x.size(-1);
   FOCUS_CHECK_EQ(gamma.numel(), n) << "LayerNorm gamma size mismatch";

@@ -1,5 +1,9 @@
 #include "tensor/profile_hooks.h"
 
+#include <memory>
+#include <mutex>
+#include <vector>
+
 namespace focus {
 
 namespace internal_profile {
@@ -7,12 +11,20 @@ std::atomic<const KernelProfileHooks*> g_hooks{nullptr};
 }  // namespace internal_profile
 
 void SetKernelProfileHooks(KernelProfileHooks hooks) {
+  // Superseded tables are retired into a process-lifetime registry instead
+  // of freed: an in-flight KernelProfileScope may still hold a pointer to
+  // the table it pinned. Installs happen a handful of times per process
+  // (tracer enable/disable), so retention is bounded and tiny — and unlike
+  // a bare leak the blocks stay reachable, so LeakSanitizer stays quiet.
+  static std::mutex* mu = new std::mutex();
+  static auto* retired =
+      new std::vector<std::unique_ptr<const KernelProfileHooks>>();
   const KernelProfileHooks* table = nullptr;
   if (hooks.begin != nullptr || hooks.end != nullptr) {
-    // Leaked on purpose: an in-flight KernelProfileScope may still hold a
-    // pointer to a superseded table. Installs happen a handful of times per
-    // process (tracer enable/disable), so the leak is bounded and tiny.
-    table = new KernelProfileHooks(hooks);
+    std::lock_guard<std::mutex> lock(*mu);
+    retired->push_back(
+        std::make_unique<const KernelProfileHooks>(hooks));
+    table = retired->back().get();
   }
   internal_profile::g_hooks.store(table, std::memory_order_release);
 }

@@ -35,6 +35,7 @@ std::shared_ptr<float[]> AllocateTracked(int64_t numel) {
   const int64_t bytes = numel * static_cast<int64_t>(sizeof(float));
   MemoryStats::RecordAlloc(bytes);
   // Custom deleter performs the accounting when the last alias dies.
+  // NOLINT(focus-raw-new): this IS the tracked allocator.
   return std::shared_ptr<float[]>(new float[numel],
                                   [bytes](float* p) {
                                     MemoryStats::RecordFree(bytes);

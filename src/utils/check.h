@@ -7,7 +7,9 @@
 #ifndef FOCUS_UTILS_CHECK_H_
 #define FOCUS_UTILS_CHECK_H_
 
+#include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -42,6 +44,54 @@ struct Voidify {
 };
 
 }  // namespace internal_check
+
+// Debug invariant-check tier (FOCUS_DEBUG_CHECK). These are the expensive
+// guards — post-op NaN/Inf scans, alias checks on in-place ops, the autograd
+// graph auditor — that are too slow for release hot paths but cheap enough
+// for debugging and CI. They are always compiled; whether they *evaluate* is
+// a single relaxed atomic load:
+//
+//   * Debug builds (NDEBUG undefined): on by default.
+//   * Release builds: off by default; FOCUS_DEBUG_CHECKS=1 turns them on.
+//   * FOCUS_DEBUG_CHECKS=0 forces them off in any build.
+//   * debug::SetChecksEnabled() overrides the environment (used by tests).
+namespace debug {
+namespace internal {
+
+// -1 = not yet initialized from the environment; 0 = off; 1 = on.
+inline std::atomic<int> g_checks_enabled{-1};
+
+inline int InitChecksEnabledFromEnv() {
+#ifdef NDEBUG
+  int enabled = 0;
+#else
+  int enabled = 1;
+#endif
+  const char* v = std::getenv("FOCUS_DEBUG_CHECKS");
+  if (v != nullptr && *v != '\0') {
+    enabled = (std::strcmp(v, "0") != 0) ? 1 : 0;
+  }
+  // Another thread may have raced the same init; the value is identical.
+  g_checks_enabled.store(enabled, std::memory_order_relaxed);
+  return enabled;
+}
+
+}  // namespace internal
+
+// True when the FOCUS_DEBUG_CHECK tier is active. The fast path is one
+// relaxed atomic load, so guard sites cost a predictable branch when off.
+inline bool ChecksEnabled() {
+  const int v = internal::g_checks_enabled.load(std::memory_order_relaxed);
+  if (v >= 0) return v != 0;
+  return internal::InitChecksEnabledFromEnv() != 0;
+}
+
+// Programmatic override of the FOCUS_DEBUG_CHECKS environment setting.
+inline void SetChecksEnabled(bool enabled) {
+  internal::g_checks_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace debug
 }  // namespace focus
 
 #define FOCUS_CHECK(cond)                                                \
@@ -66,5 +116,26 @@ struct Voidify {
       ::focus::internal_check::FatalMessage(__FILE__, __LINE__, "")    \
           .stream()                                                    \
       << msg
+
+// Debug-tier check: evaluates `cond` (and aborts on failure, exactly like
+// FOCUS_CHECK) only while debug::ChecksEnabled() is true. When the tier is
+// off neither `cond` nor the streamed message arguments are evaluated.
+#define FOCUS_DEBUG_CHECK(cond)                                          \
+  (!::focus::debug::ChecksEnabled() || (cond))                           \
+      ? (void)0                                                          \
+      : ::focus::internal_check::Voidify() &                             \
+            ::focus::internal_check::FatalMessage(__FILE__, __LINE__,    \
+                                                  #cond)                 \
+                .stream()
+
+#define FOCUS_DEBUG_CHECK_OP(a, b, op) \
+  FOCUS_DEBUG_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define FOCUS_DEBUG_CHECK_EQ(a, b) FOCUS_DEBUG_CHECK_OP(a, b, ==)
+#define FOCUS_DEBUG_CHECK_NE(a, b) FOCUS_DEBUG_CHECK_OP(a, b, !=)
+#define FOCUS_DEBUG_CHECK_LT(a, b) FOCUS_DEBUG_CHECK_OP(a, b, <)
+#define FOCUS_DEBUG_CHECK_LE(a, b) FOCUS_DEBUG_CHECK_OP(a, b, <=)
+#define FOCUS_DEBUG_CHECK_GT(a, b) FOCUS_DEBUG_CHECK_OP(a, b, >)
+#define FOCUS_DEBUG_CHECK_GE(a, b) FOCUS_DEBUG_CHECK_OP(a, b, >=)
 
 #endif  // FOCUS_UTILS_CHECK_H_

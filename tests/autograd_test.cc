@@ -123,9 +123,11 @@ TEST(AutogradTest, MatMulBroadcastLhsBackward) {
 
 TEST(AutogradTest, ReductionBackward) {
   Tensor a = MakeParam({3, 4}, 20);
-  CheckGradients([&] { return SumAll(Mul(Sum(a, 0, false), Sum(a, 0, false))); },
+  CheckGradients(
+      [&] { return SumAll(Mul(Sum(a, 0, false), Sum(a, 0, false))); },
                  {a});
-  CheckGradients([&] { return SumAll(Mul(Mean(a, 1, true), Mean(a, 1, true))); },
+  CheckGradients(
+      [&] { return SumAll(Mul(Mean(a, 1, true), Mean(a, 1, true))); },
                  {a});
   CheckGradients([&] { return MeanAll(Mul(a, a)); }, {a});
 }

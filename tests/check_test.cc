@@ -1,0 +1,161 @@
+// Tests for the FOCUS_DEBUG_CHECK runtime invariant layer: the NaN/Inf
+// post-op guard (with producing-op attribution), the in-place aliasing
+// guard, the autograd graph auditor, and the enable/disable gating itself.
+//
+// The guards abort the process through FOCUS_CHECK's FatalMessage, so the
+// failing paths are exercised as gtest death tests.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/autograd.h"
+#include "tensor/debug_guard.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "utils/check.h"
+
+namespace focus {
+namespace {
+
+// RAII: forces the debug-check tier on/off for one test, restoring the
+// environment-derived default afterwards so test order doesn't matter.
+class ScopedDebugChecks {
+ public:
+  explicit ScopedDebugChecks(bool enabled) : prev_(debug::ChecksEnabled()) {
+    debug::SetChecksEnabled(enabled);
+  }
+  ~ScopedDebugChecks() { debug::SetChecksEnabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+Tensor MakeParam(Shape shape, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t = Tensor::Randn(std::move(shape), rng, 0.5f);
+  t.SetRequiresGrad(true);
+  return t;
+}
+
+TEST(DebugCheckTest, MacroIsInertWhenDisabled) {
+  ScopedDebugChecks off(false);
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  FOCUS_DEBUG_CHECK(count()) << "never reached";
+  EXPECT_EQ(evaluations, 0) << "condition must not evaluate while disabled";
+}
+
+TEST(DebugCheckTest, MacroPassesWhenConditionHolds) {
+  ScopedDebugChecks on(true);
+  FOCUS_DEBUG_CHECK(1 + 1 == 2) << "arithmetic still works";
+  FOCUS_DEBUG_CHECK_EQ(3, 3);
+  FOCUS_DEBUG_CHECK_LT(2, 3);
+}
+
+TEST(DebugCheckDeathTest, MacroAbortsWhenEnabled) {
+  ScopedDebugChecks on(true);
+  EXPECT_DEATH(FOCUS_DEBUG_CHECK(false) << "tripped", "tripped");
+}
+
+// --- NaN/Inf guard ----------------------------------------------------------
+
+TEST(DebugCheckDeathTest, NanInjectionNamesProducingOp) {
+  ScopedDebugChecks on(true);
+  // -1 is finite going in; Log(-1) = NaN coming out. The guard must blame
+  // Log, not a downstream consumer.
+  Tensor x = Tensor::Full({4}, -1.0f);
+  EXPECT_DEATH(Log(x), "op 'Log' produced non-finite value");
+}
+
+TEST(DebugCheckDeathTest, NanPropagationMidGraphBlamesFirstProducer) {
+  ScopedDebugChecks on(true);
+  // A NaN injected into the input of a chain is first *produced* by the op
+  // that consumes the poisoned tensor — here AddScalar, not the later Mul.
+  Tensor x = Tensor::FromVector({3}, {1.0f, std::nanf(""), 3.0f});
+  EXPECT_DEATH(Mul(AddScalar(x, 1.0f), Tensor::Ones({3})),
+               "op 'AddScalar' produced non-finite value");
+}
+
+TEST(DebugCheckDeathTest, InfInMatMulIsCaught) {
+  ScopedDebugChecks on(true);
+  Tensor a = Tensor::Full({2, 2}, 3.0e38f);  // overflows float under matmul
+  Tensor b = Tensor::Full({2, 2}, 3.0e38f);
+  EXPECT_DEATH(MatMul(a, b), "op 'MatMul' produced non-finite value");
+}
+
+TEST(DebugCheckDeathTest, BackwardGradientsAreGuarded) {
+  ScopedDebugChecks on(true);
+  // Forward Sqrt(0) = 0 is finite; backward 0.5/sqrt(0) = inf. The guard
+  // must attribute the non-finite gradient to Sqrt's backward.
+  Tensor x = Tensor::Zeros({2});
+  x.SetRequiresGrad(true);
+  Tensor loss = SumAll(Sqrt(x));
+  EXPECT_DEATH(loss.Backward(), "Sqrt.backward");
+}
+
+TEST(DebugCheckTest, NanPassesWhenTierDisabled) {
+  ScopedDebugChecks off(false);
+  Tensor x = Tensor::Full({4}, -1.0f);
+  Tensor y = Log(x);  // NaN output, but the tier is off: no abort.
+  EXPECT_TRUE(std::isnan(y.data()[0]));
+}
+
+// --- In-place aliasing guard ------------------------------------------------
+
+TEST(DebugCheckDeathTest, AddInPlaceRejectsAliasedSource) {
+  ScopedDebugChecks on(true);
+  Tensor a = Tensor::Ones({8});
+  Tensor alias = a.Detach();  // shares the buffer
+  EXPECT_DEATH(AddInPlace(a, alias),
+               "in-place op 'AddInPlace' source aliases its destination");
+}
+
+TEST(DebugCheckTest, AddInPlaceAcceptsDisjointBuffers) {
+  ScopedDebugChecks on(true);
+  Tensor a = Tensor::Ones({8});
+  Tensor b = Tensor::Ones({8});
+  AddInPlace(a, b);
+  EXPECT_FLOAT_EQ(a.data()[0], 2.0f);
+}
+
+// --- Autograd graph auditor -------------------------------------------------
+
+TEST(DebugCheckDeathTest, DoubleBackwardOnFreedGraphIsDetected) {
+  ScopedDebugChecks on(true);
+  Tensor a = MakeParam({3}, 7);
+  Tensor loss = SumAll(Mul(a, a));
+  loss.Backward();
+  EXPECT_DEATH(loss.Backward(), "double backward through node");
+}
+
+TEST(DebugCheckTest, FreshGraphsMayBackwardRepeatedly) {
+  ScopedDebugChecks on(true);
+  // Rebuilding the graph per step (the trainer's pattern) must stay legal:
+  // each Backward consumes a distinct tape.
+  Tensor a = MakeParam({3}, 8);
+  SumAll(Mul(a, a)).Backward();
+  SumAll(Mul(a, a)).Backward();
+  EXPECT_TRUE(a.Grad().defined());
+}
+
+TEST(DebugCheckTest, TrainingStepShapedGraphPassesAudit) {
+  ScopedDebugChecks on(true);
+  // A representative mini forward/backward (matmul + softmax + losses)
+  // runs clean under the full invariant tier.
+  Tensor w = MakeParam({4, 4}, 9);
+  Tensor x = Tensor::Ones({2, 4});
+  Tensor target = Tensor::Zeros({2, 4});
+  Tensor pred = SoftmaxLastDim(MatMul(x, w));
+  Tensor loss = MseLoss(pred, target);
+  loss.Backward();
+  ASSERT_TRUE(w.Grad().defined());
+  for (int64_t i = 0; i < w.Grad().numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(w.Grad().data()[i]));
+  }
+}
+
+}  // namespace
+}  // namespace focus

@@ -72,7 +72,7 @@ std::string ReadFile(const std::string& path) {
   if (f == nullptr) return "";
   std::string out;
   char buf[4096];
-  size_t n;
+  size_t n = 0;
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
   std::fclose(f);
   return out;

@@ -138,10 +138,52 @@ TEST(EnvTest, GetEnvIntParsesOrFallsBack) {
   EXPECT_EQ(GetEnvIntOr("FOCUS_TEST_INT", 7), 7);
 }
 
+TEST(EnvTest, GetEnvIntRejectsMalformedValues) {
+  // Trailing garbage after digits must not half-parse: "12abc" is a typo,
+  // not a request for 12 threads.
+  setenv("FOCUS_TEST_INT", "12abc", 1);
+  EXPECT_EQ(GetEnvIntOr("FOCUS_TEST_INT", 7), 7);
+  setenv("FOCUS_TEST_INT", "", 1);
+  EXPECT_EQ(GetEnvIntOr("FOCUS_TEST_INT", 7), 7);
+  setenv("FOCUS_TEST_INT", "  ", 1);
+  EXPECT_EQ(GetEnvIntOr("FOCUS_TEST_INT", 7), 7);
+  setenv("FOCUS_TEST_INT", "99999999999999999999999999", 1);  // > LONG_MAX
+  EXPECT_EQ(GetEnvIntOr("FOCUS_TEST_INT", 7), 7);
+  setenv("FOCUS_TEST_INT", "1.5", 1);
+  EXPECT_EQ(GetEnvIntOr("FOCUS_TEST_INT", 7), 7);
+  unsetenv("FOCUS_TEST_INT");
+}
+
+TEST(EnvTest, GetEnvIntAcceptsSignedAndPaddedValues) {
+  setenv("FOCUS_TEST_INT", "-42", 1);
+  EXPECT_EQ(GetEnvIntOr("FOCUS_TEST_INT", 7), -42);
+  setenv("FOCUS_TEST_INT", "+8", 1);
+  EXPECT_EQ(GetEnvIntOr("FOCUS_TEST_INT", 7), 8);
+  setenv("FOCUS_TEST_INT", "  16  ", 1);  // strtol skips leading space;
+  EXPECT_EQ(GetEnvIntOr("FOCUS_TEST_INT", 7), 16);  // we allow trailing too
+  unsetenv("FOCUS_TEST_INT");
+}
+
+TEST(EnvTest, GetEnvIntInRangeClampsToFallback) {
+  // Out-of-range values fall back rather than clamp: a wildly wrong
+  // FOCUS_NUM_THREADS should be ignored loudly, not silently saturated.
+  setenv("FOCUS_TEST_INT", "0", 1);
+  EXPECT_EQ(GetEnvIntInRangeOr("FOCUS_TEST_INT", 7, 1, 256), 7);
+  setenv("FOCUS_TEST_INT", "-3", 1);
+  EXPECT_EQ(GetEnvIntInRangeOr("FOCUS_TEST_INT", 7, 1, 256), 7);
+  setenv("FOCUS_TEST_INT", "1000", 1);
+  EXPECT_EQ(GetEnvIntInRangeOr("FOCUS_TEST_INT", 7, 1, 256), 7);
+  setenv("FOCUS_TEST_INT", "256", 1);  // boundary is inclusive
+  EXPECT_EQ(GetEnvIntInRangeOr("FOCUS_TEST_INT", 7, 1, 256), 256);
+  setenv("FOCUS_TEST_INT", "1", 1);
+  EXPECT_EQ(GetEnvIntInRangeOr("FOCUS_TEST_INT", 7, 1, 256), 1);
+  unsetenv("FOCUS_TEST_INT");
+}
+
 TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch sw;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GT(sw.ElapsedSeconds(), 0.0);
   EXPECT_NEAR(sw.ElapsedMillis(), sw.ElapsedSeconds() * 1e3,
               sw.ElapsedMillis() * 0.5 + 1.0);
