@@ -67,7 +67,13 @@ run_leg_default() {
 }
 
 run_leg_asan() {
-  configure_build_test build-asan \
+  # Bypass the caching allocator (FOCUS_ALLOC_CACHE_MB=0) so every freed
+  # tensor buffer really goes back to the system and ASan keeps catching
+  # use-after-free / stale reads across the rest of the suite; a recycled
+  # buffer would look live to ASan. The allocator's own caching paths are
+  # still exercised here: allocator_test and parity_test raise the cap
+  # programmatically via SetCapBytes().
+  FOCUS_ALLOC_CACHE_MB=0 configure_build_test build-asan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFOCUS_ASAN=ON -DFOCUS_BUILD_BENCH=OFF
 }
 

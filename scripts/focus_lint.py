@@ -13,6 +13,11 @@ repo rules — correctness contracts from the parallel-kernel layer:
                      src/parallel). Buffers must go through the tracked
                      allocator in tensor.cc so MemoryStats stays honest.
                      Suppress deliberate uses with // NOLINT(focus-raw-new).
+  raw-float-new      `new float[...]` anywhere outside tensor/allocator.cc.
+                     Float buffers must come from Allocator so size-class
+                     recycling and raw-byte accounting stay complete; the
+                     allocator itself is the only permitted backing-store
+                     call site (NOLINT does not suppress this elsewhere).
   op-entry-guard     Every public op entry point in src/tensor/ops_*.cc
                      (a function declared in tensor/ops.h) must open with a
                      FOCUS_*CHECK validation of its operands.
@@ -147,6 +152,19 @@ def check_raw_array_new(path, raw, code):
                "Tensor buffers (or annotate // NOLINT(focus-raw-new))")
 
 
+def check_raw_float_new(path, raw, code):
+    # The caching allocator is the single backing store for float buffers;
+    # any other `new float[` bypasses recycling and raw-byte accounting.
+    # Unlike raw-array-new there is no NOLINT escape hatch outside
+    # allocator.cc — route the buffer through Allocator::Get().Allocate().
+    if str(path.relative_to(REPO_ROOT)) == "src/tensor/allocator.cc":
+        return
+    for m in re.finditer(r"\bnew\s+float\s*\[", code):
+        report(path, line_of(code, m.start()), "raw-float-new",
+               "new float[] outside tensor/allocator.cc; obtain buffers via "
+               "Allocator::Get().Allocate() so they are recycled and counted")
+
+
 def public_op_names():
     """Free functions declared in tensor/ops.h (the public op surface)."""
     header = strip_comments_and_strings(
@@ -217,6 +235,7 @@ def main():
             code = strip_comments_and_strings(raw)
             check_flop_in_parallel(path, raw, code)
             check_raw_array_new(path, raw, code)
+            check_raw_float_new(path, raw, code)
             check_op_entry_guard(path, raw, code, op_names)
         if "format" in families:
             check_format(path, raw)

@@ -88,6 +88,9 @@ TrainResult TrainModel(ForecastModel& model, const data::WindowDataset& train,
   }
   result.steps = step;
   result.seconds = timer.ElapsedSeconds();
+  // Mirror the caching allocator's run-so-far counters into the registry so
+  // they appear in --trace exports even when tracing flushes later.
+  obs::PublishAllocatorMetrics();
   const auto step_ms = registry.Summarize("train/step_ms");
   result.step_ms_p50 = step_ms.p50;
   result.step_ms_p95 = step_ms.p95;

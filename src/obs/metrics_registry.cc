@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
+
+#include "tensor/allocator.h"
 
 namespace focus {
 namespace obs {
@@ -141,6 +144,28 @@ void MetricsRegistry::Reset() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+}
+
+void PublishAllocatorMetrics() {
+  // Counters in the registry are cumulative; the allocator's counters are
+  // process-cumulative too, so publish only the delta since the previous
+  // publication (guarded for concurrent publishers).
+  static std::mutex publish_mu;
+  static AllocatorStats last;
+  std::lock_guard<std::mutex> lock(publish_mu);
+  const AllocatorStats now = Allocator::Get().Stats();
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  registry.AddCounter("alloc/hits", now.hits - last.hits);
+  registry.AddCounter("alloc/misses", now.misses - last.misses);
+  registry.AddCounter("alloc/frees_cached",
+                      now.frees_cached - last.frees_cached);
+  registry.AddCounter("alloc/frees_released",
+                      now.frees_released - last.frees_released);
+  registry.AddCounter("alloc/trims", now.trims - last.trims);
+  registry.SetGauge("alloc/cached_bytes",
+                    static_cast<double>(now.cached_bytes));
+  registry.SetGauge("alloc/raw_bytes", static_cast<double>(now.raw_bytes));
+  last = now;
 }
 
 }  // namespace obs

@@ -60,6 +60,15 @@ class MetricsRegistry {
   std::vector<std::pair<std::string, std::vector<double>>> histograms_;
 };
 
+// Mirrors the caching tensor allocator's counters (tensor/allocator.h)
+// into the registry: monotonic "alloc/hits", "alloc/misses",
+// "alloc/frees_cached", "alloc/frees_released", "alloc/trims" counters
+// (published as deltas since the previous call, so repeated publication
+// never double-counts) plus "alloc/cached_bytes" and "alloc/raw_bytes"
+// gauges. Called by Tracer::Flush() before every export and by the
+// trainer at the end of a run; safe to call any time.
+void PublishAllocatorMetrics();
+
 }  // namespace obs
 }  // namespace focus
 

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "obs/metrics_registry.h"
+#include "tensor/allocator.h"
 #include "tensor/flops.h"
 #include "tensor/memory.h"
 #include "tensor/profile_hooks.h"
@@ -86,6 +87,8 @@ void AppendSpanArgs(std::string& out, const SpanEvent& ev) {
   out += ",\"self_flops\":" + std::to_string(ev.self_flops);
   out += ",\"peak_bytes\":" + std::to_string(ev.peak_bytes);
   out += ",\"allocs\":" + std::to_string(ev.allocs);
+  out += ",\"alloc_hits\":" + std::to_string(ev.alloc_hits);
+  out += ",\"alloc_misses\":" + std::to_string(ev.alloc_misses);
   out += ",\"wall_us\":" + std::to_string(ev.wall_us);
   out += ",\"depth\":" + std::to_string(ev.depth);
 }
@@ -224,6 +227,8 @@ std::vector<std::pair<std::string, SpanStats>> AggregateSpans(
     stats->self_flops += ev.self_flops;
     stats->peak_bytes = std::max(stats->peak_bytes, ev.peak_bytes);
     stats->allocs += ev.allocs;
+    stats->alloc_hits += ev.alloc_hits;
+    stats->alloc_misses += ev.alloc_misses;
   }
   return out;
 }
@@ -308,6 +313,9 @@ Status Tracer::Flush() {
     path = path_;
     format = format_;
   }
+  // Exports embed the MetricsRegistry; refresh the allocator mirror first
+  // so "alloc/*" counters in the file match the allocator at flush time.
+  PublishAllocatorMetrics();
   const std::string payload = format == TraceFormat::kChromeTrace
                                   ? RenderChromeTrace(events)
                                   : RenderJsonl(events);
@@ -334,6 +342,9 @@ TraceSpan::TraceSpan(const char* name, Options options) : name_(name) {
   start_ts_us_ = NowUs();
   start_flops_ = FlopCounter::Count();
   start_allocs_ = MemoryStats::TotalAllocations();
+  const AllocatorStats alloc_stats = Allocator::Get().Stats();
+  start_alloc_hits_ = alloc_stats.hits;
+  start_alloc_misses_ = alloc_stats.misses;
   start_bytes_ = MemoryStats::CurrentBytes();
   // Window the global high-water mark to this span: reset it on entry and
   // restore the running maximum on exit, so nested spans and outer
@@ -365,6 +376,9 @@ TraceSpan::~TraceSpan() {
   event.self_flops = inclusive_flops - child_flops_;
   event.peak_bytes = std::max<int64_t>(span_peak - start_bytes_, 0);
   event.allocs = MemoryStats::TotalAllocations() - start_allocs_;
+  const AllocatorStats alloc_stats = Allocator::Get().Stats();
+  event.alloc_hits = alloc_stats.hits - start_alloc_hits_;
+  event.alloc_misses = alloc_stats.misses - start_alloc_misses_;
   Tracer::Get().Record(std::move(event));
 }
 

@@ -52,6 +52,10 @@ struct SpanEvent {
   int64_t self_flops = 0;  // exclusive of enclosed (non-kernel) spans
   int64_t peak_bytes = 0;
   int64_t allocs = 0;
+  // Caching-allocator behaviour inside the span (inclusive): buffers served
+  // from the recycle cache vs. from the system heap.
+  int64_t alloc_hits = 0;
+  int64_t alloc_misses = 0;
 };
 
 // Per-name aggregate over a set of events, in first-use order.
@@ -62,6 +66,8 @@ struct SpanStats {
   int64_t self_flops = 0;  // summed self
   int64_t peak_bytes = 0;  // max over events
   int64_t allocs = 0;      // summed
+  int64_t alloc_hits = 0;    // summed
+  int64_t alloc_misses = 0;  // summed
 };
 std::vector<std::pair<std::string, SpanStats>> AggregateSpans(
     const std::vector<SpanEvent>& events);
@@ -148,6 +154,8 @@ class TraceSpan {
   int64_t start_ts_us_ = 0;
   int64_t start_flops_ = 0;
   int64_t start_allocs_ = 0;
+  int64_t start_alloc_hits_ = 0;
+  int64_t start_alloc_misses_ = 0;
   int64_t start_bytes_ = 0;
   int64_t saved_peak_ = 0;
   int64_t child_flops_ = 0;

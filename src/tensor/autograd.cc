@@ -62,9 +62,24 @@ std::vector<Node*> TopologicalOrder(Node* root) {
   return order;
 }
 
+// Materializes a gradient for an accumulator slot. A gradient returned by
+// a backward closure is usually a freshly allocated tensor nothing else
+// references; the accumulator then adopts the buffer directly — one fewer
+// allocation + memcpy per parameter per step. Pass-through gradients
+// (e.g. equal-shape Add backward forwards the incoming gradient itself)
+// and buffer aliases (Detach/Reshape share the buffer) show up in the use
+// counts and fall back to a deep copy. Subsequent accumulation happens in
+// place on the (recycled) buffer, guarded by AddInPlace's alias checker.
+Tensor CaptureGrad(const Tensor& grad) {
+  const bool exclusive = !grad.grad_fn() && !grad.requires_grad() &&
+                         grad.impl().use_count() == 1 &&
+                         grad.impl()->buffer().use_count() == 1;
+  return exclusive ? grad : grad.Clone();
+}
+
 void AccumulateInto(Tensor& slot, const Tensor& grad) {
   if (!slot.defined()) {
-    slot = grad.Clone();
+    slot = CaptureGrad(grad);
   } else {
     AddInPlace(slot, grad);
   }
@@ -150,7 +165,7 @@ void RunBackward(const Tensor& root) {
           Tensor existing = Tensor::FromImpl(input.impl()->grad);
           AddInPlace(existing, g);
         } else {
-          input.impl()->grad = g.Clone().impl();
+          input.impl()->grad = CaptureGrad(g).impl();
         }
       }
     }

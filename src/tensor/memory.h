@@ -4,6 +4,14 @@
 // experiments can report peak memory usage — one of the paper's three
 // efficiency metrics (Fig. 6, Table IV). Counters are process-global; the
 // harness resets the peak before a probed forward pass.
+//
+// These are *logical* bytes: the live-tensor footprint the paper's metric
+// is defined over. They are recorded before the caching allocator
+// (tensor/allocator.h) gets involved, so recycling, size-class rounding,
+// and cached-but-idle buffers never show up here — CurrentBytes/PeakBytes
+// are identical whether the cache is on, capped, or bypassed. The
+// allocator's own AllocatorStats reports the *raw* system-side view
+// (live + cached rounded bytes, hits/misses/trims).
 #ifndef FOCUS_TENSOR_MEMORY_H_
 #define FOCUS_TENSOR_MEMORY_H_
 

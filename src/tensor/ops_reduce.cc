@@ -62,10 +62,17 @@ Tensor Sum(const Tensor& x, int64_t dim, bool keepdim) {
   }
   const int64_t reduce = xs[static_cast<size_t>(dim)];
 
-  Tensor out = Tensor::Zeros(out_shape);
+  // The r == 0 pass *assigns* instead of accumulating into a pre-zeroed
+  // buffer, so the (possibly recycled, garbage-filled) output needs no
+  // zero fill and is written exactly once per reduction step. The
+  // per-element accumulation order stays r-ascending, so outputs remain
+  // bit-identical across thread counts.
+  Tensor out = Tensor::Empty(out_shape);
   const float* px = x.data();
   float* po = out.data();
-  if (outer >= inner) {
+  if (reduce == 0) {
+    std::fill_n(po, out.numel(), 0.0f);
+  } else if (outer >= inner) {
     // Shards own disjoint outer slices (disjoint output rows).
     const int64_t grain = std::max<int64_t>(
         1, 16384 / std::max<int64_t>(1, reduce * inner));
@@ -74,7 +81,11 @@ Tensor Sum(const Tensor& x, int64_t dim, bool keepdim) {
         float* orow = po + o * inner;
         for (int64_t r = 0; r < reduce; ++r) {
           const float* row = px + (o * reduce + r) * inner;
-          for (int64_t i = 0; i < inner; ++i) orow[i] += row[i];
+          if (r == 0) {
+            for (int64_t i = 0; i < inner; ++i) orow[i] = row[i];
+          } else {
+            for (int64_t i = 0; i < inner; ++i) orow[i] += row[i];
+          }
         }
       }
     });
@@ -88,7 +99,11 @@ Tensor Sum(const Tensor& x, int64_t dim, bool keepdim) {
         float* orow = po + o * inner;
         for (int64_t r = 0; r < reduce; ++r) {
           const float* row = px + (o * reduce + r) * inner;
-          for (int64_t i = i0; i < i1; ++i) orow[i] += row[i];
+          if (r == 0) {
+            for (int64_t i = i0; i < i1; ++i) orow[i] = row[i];
+          } else {
+            for (int64_t i = i0; i < i1; ++i) orow[i] += row[i];
+          }
         }
       }
     });

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "tensor/allocator.h"
 #include "tensor/autograd.h"
 #include "tensor/memory.h"
 
@@ -33,14 +34,17 @@ namespace {
 
 std::shared_ptr<float[]> AllocateTracked(int64_t numel) {
   const int64_t bytes = numel * static_cast<int64_t>(sizeof(float));
+  // MemoryStats tracks *logical* live-tensor bytes (the paper's peak-memory
+  // metric) and is deliberately recorded outside the caching allocator:
+  // whether a buffer is recycled or fresh never changes these numbers. The
+  // custom deleter performs the matching accounting when the last alias
+  // dies, then hands the buffer back to the allocator's free lists.
   MemoryStats::RecordAlloc(bytes);
-  // Custom deleter performs the accounting when the last alias dies.
-  // NOLINT(focus-raw-new): this IS the tracked allocator.
-  return std::shared_ptr<float[]>(new float[numel],
-                                  [bytes](float* p) {
-                                    MemoryStats::RecordFree(bytes);
-                                    delete[] p;
-                                  });
+  float* p = Allocator::Get().Allocate(numel);
+  return std::shared_ptr<float[]>(p, [bytes, numel](float* q) {
+    MemoryStats::RecordFree(bytes);
+    Allocator::Get().Deallocate(q, numel);
+  });
 }
 
 bool g_grad_enabled = true;

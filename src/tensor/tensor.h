@@ -9,7 +9,10 @@
 //    `autograd::Node` holding its inputs and a backward closure; see
 //    autograd.h. Gradients of leaves accumulate into `TensorImpl::grad`.
 //  * All buffer allocations are tracked by MemoryStats (peak-memory metric)
-//    and all kernels report FLOPs to FlopCounter (FLOPs metric).
+//    and all kernels report FLOPs to FlopCounter (FLOPs metric). Buffers
+//    themselves come from the size-class caching allocator (allocator.h):
+//    freed buffers are recycled, so `Empty` memory is uninitialized
+//    *garbage*, never dependably zero — write before you read.
 #ifndef FOCUS_TENSOR_TENSOR_H_
 #define FOCUS_TENSOR_TENSOR_H_
 
@@ -82,6 +85,9 @@ class Tensor {
   Tensor() = default;
 
   // --- Factories -----------------------------------------------------------
+  // Uninitialized buffer — with the caching allocator the contents are
+  // recycled garbage (NaN-poisoned under FOCUS_DEBUG_CHECK), so every
+  // element must be written before it is read. Use Zeros for accumulators.
   static Tensor Empty(Shape shape);
   static Tensor Zeros(Shape shape);
   static Tensor Ones(Shape shape);

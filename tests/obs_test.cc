@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "obs/metrics_registry.h"
+#include "tensor/allocator.h"
 #include "tensor/flops.h"
 #include "tensor/memory.h"
 #include "tensor/tensor.h"
@@ -244,6 +245,42 @@ TEST_F(ObsTest, BreakdownPreservesFirstUseOrder) {
   for (const auto& [name, flops] : breakdown) names.push_back(name);
   const std::vector<std::string> expected = {"zeta", "alpha", "mid"};
   EXPECT_EQ(names, expected);
+}
+
+TEST_F(ObsTest, SpansAndExportsCarryAllocatorCounters) {
+  Allocator& alloc = Allocator::Get();
+  const int64_t prev_cap = alloc.cap_bytes();
+  alloc.SetCapBytes(64 * (int64_t{1} << 20));
+  auto& tracer = obs::Tracer::Get();
+  tracer.Enable();
+  {
+    obs::TraceSpan warm("test/alloc_warm");
+    Tensor a = Tensor::Zeros({2048});
+  }  // `a`'s buffer is now parked on a free list
+  {
+    obs::TraceSpan reuse("test/alloc_reuse");
+    Tensor b = Tensor::Zeros({2048});  // same class: recycled
+  }
+
+  const auto agg = obs::AggregateSpans(tracer.Snapshot());
+  EXPECT_GE(StatsFor(agg, "test/alloc_reuse").alloc_hits, 1);
+
+  const std::string path = "obs_test_alloc.jsonl";
+  tracer.SetOutput(path, obs::TraceFormat::kJsonl);
+  ASSERT_TRUE(tracer.Flush().ok());  // publishes alloc/* into the registry
+  tracer.SetOutput("", obs::TraceFormat::kJsonl);
+  tracer.Disable();
+
+  const std::string text = ReadFile(path);
+  std::remove(path.c_str());
+  EXPECT_NE(text.find("\"alloc_hits\""), std::string::npos);
+  EXPECT_NE(text.find("\"alloc_misses\""), std::string::npos);
+  EXPECT_NE(text.find("\"alloc/hits\""), std::string::npos);
+  EXPECT_NE(text.find("\"alloc/cached_bytes\""), std::string::npos);
+  EXPECT_GE(obs::MetricsRegistry::Get().CounterValue("alloc/hits"), 1);
+
+  alloc.Trim();
+  alloc.SetCapBytes(prev_cap);
 }
 
 TEST_F(ObsTest, MetricsRegistryCountersGaugesPercentiles) {

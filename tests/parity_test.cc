@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include "cluster/segment_clustering.h"
+#include "optim/optimizer.h"
 #include "parallel/thread_pool.h"
+#include "tensor/allocator.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 
@@ -221,6 +223,57 @@ TEST(ParityTest, ClusterFitIsThreadCountInvariant) {
                    serial.prototypes.data(), pooled.prototypes.data(),
                    static_cast<size_t>(serial.prototypes.numel()) *
                        sizeof(float)));
+}
+
+// Buffer recycling must be numerically invisible: the same training run
+// with the allocator cache on and bypassed (FOCUS_ALLOC_CACHE_MB=0
+// semantics, set programmatically) must produce bit-identical parameters
+// and losses. Recycling only changes *which* memory a kernel writes into,
+// never what it computes — this test is the enforcement.
+TEST(ParityTest, TrainStepCacheOnVsBypassBitIdentical) {
+  auto run_training = [](int64_t cap_bytes) {
+    Allocator& alloc = Allocator::Get();
+    const int64_t prev_cap = alloc.cap_bytes();
+    alloc.SetCapBytes(cap_bytes);
+
+    Rng rng(20);
+    Tensor x = Tensor::Randn({24, 17}, rng);
+    Tensor y = Tensor::Randn({24, 5}, rng);
+    Tensor w1 = Tensor::Randn({17, 8}, rng);
+    Tensor b1 = Tensor::Zeros({8});
+    Tensor w2 = Tensor::Randn({8, 5}, rng);
+    Tensor b2 = Tensor::Zeros({5});
+    std::vector<Tensor> params = {w1, b1, w2, b2};
+    for (Tensor& p : params) p.SetRequiresGrad(true);
+    optim::AdamW opt(params, /*lr=*/1e-2f);
+
+    Tensor loss;
+    for (int step = 0; step < 5; ++step) {
+      opt.ZeroGrad();
+      Tensor h = Gelu(Add(MatMul(x, w1), b1));
+      Tensor d = Sub(Add(MatMul(h, w2), b2), y);
+      loss = MeanAll(Mul(d, d));
+      loss.Backward();
+      opt.Step();
+    }
+
+    alloc.Trim();
+    alloc.SetCapBytes(prev_cap);
+    std::vector<Tensor> result = params;
+    result.push_back(loss);
+    return result;
+  };
+
+  const std::vector<Tensor> cached = run_training(256 * (int64_t{1} << 20));
+  const std::vector<Tensor> bypass = run_training(0);
+  ASSERT_EQ(cached.size(), bypass.size());
+  for (size_t t = 0; t < cached.size(); ++t) {
+    ASSERT_EQ(cached[t].shape(), bypass[t].shape()) << "tensor " << t;
+    ASSERT_EQ(0, std::memcmp(cached[t].data(), bypass[t].data(),
+                             static_cast<size_t>(cached[t].numel()) *
+                                 sizeof(float)))
+        << "tensor " << t << " differs between cache-on and bypass";
+  }
 }
 
 }  // namespace
