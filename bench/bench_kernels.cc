@@ -1,8 +1,15 @@
 // Kernel microbenchmarks (google-benchmark): matmul / softmax throughput,
 // ProtoAttn vs full self-attention scaling in the token count (the paper's
 // O(kl) vs O(l^2) claim at kernel granularity), and offline clustering
-// throughput.
+// throughput. The hot kernels additionally report achieved GFLOP/s and the
+// active FOCUS_SIMD backend (JSON `label`), so scalar-vs-AVX2 runs are
+// directly comparable in results/BENCH_simd.json.
+//
+// The __has_include guard lets this exact file build against a pre-SIMD
+// checkout too — that is how the PR-over-PR baseline numbers are taken.
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "cluster/segment_clustering.h"
 #include "core/proto_attn.h"
@@ -11,6 +18,11 @@
 #include "parallel/thread_pool.h"
 #include "tensor/allocator.h"
 #include "tensor/ops.h"
+
+#if __has_include("tensor/simd/vec.h")
+#include "tensor/simd/vec.h"
+#define FOCUS_BENCH_HAVE_SIMD 1
+#endif
 
 namespace focus {
 namespace {
@@ -23,6 +35,21 @@ void ReportThreads(benchmark::State& state) {
       static_cast<double>(ThreadPool::Global().num_threads());
 }
 
+// Achieved GFLOP/s from the op's true per-iteration FLOP count (the same
+// figure FlopCounter records), plus the active SIMD backend as the run
+// label ("pre-simd" on checkouts that predate the vector layer).
+void ReportGflops(benchmark::State& state, int64_t flops_per_iter) {
+  state.counters["gflops"] = benchmark::Counter(
+      static_cast<double>(flops_per_iter) *
+          static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+#ifdef FOCUS_BENCH_HAVE_SIMD
+  state.SetLabel(simd::BackendName());
+#else
+  state.SetLabel("pre-simd");
+#endif
+}
+
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
   Rng rng(1);
@@ -33,6 +60,7 @@ void BM_MatMul(benchmark::State& state) {
     benchmark::DoNotOptimize(MatMul(a, b).data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  ReportGflops(state, 2 * n * n * n);
   ReportThreads(state);
 }
 BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
@@ -49,6 +77,7 @@ void BM_MatMulBatched(benchmark::State& state) {
     benchmark::DoNotOptimize(MatMul(a, w).data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * b * l * d * d);
+  ReportGflops(state, 2 * b * l * d * d);
   ReportThreads(state);
 }
 BENCHMARK(BM_MatMulBatched)->Args({32, 96, 64})->Args({8, 512, 64});
@@ -82,6 +111,7 @@ void BM_LayerNormLastDim(benchmark::State& state) {
         LayerNormLastDim(x, gamma, beta, 1e-5f).data());
   }
   state.SetItemsProcessed(state.iterations() * rows * n);
+  ReportGflops(state, 8 * rows * n);  // FlopCounter's layernorm figure
   ReportThreads(state);
 }
 BENCHMARK(BM_LayerNormLastDim)->Args({3072, 64})->Args({4096, 512});
@@ -95,9 +125,50 @@ void BM_SoftmaxLastDim(benchmark::State& state) {
     benchmark::DoNotOptimize(SoftmaxLastDim(x).data());
   }
   state.SetItemsProcessed(state.iterations() * n * n);
+  ReportGflops(state, 5 * n * n);  // FlopCounter's softmax figure
   ReportThreads(state);
 }
 BENCHMARK(BM_SoftmaxLastDim)->Arg(128)->Arg(512);
+
+// Elementwise transcendental throughput: Exp over a large contiguous
+// tensor. Pre-SIMD this was a std::exp loop; the vector layer evaluates
+// the shared polynomial 8 lanes at a time.
+void BM_ElementwiseExp(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  Tensor x = Tensor::Randn({n}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Exp(x).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  ReportGflops(state, 2 * n);  // FlopCounter's elementwise-unary figure
+  ReportThreads(state);
+}
+BENCHMARK(BM_ElementwiseExp)->Arg(1 << 16)->Arg(1 << 20);
+
+#ifdef FOCUS_BENCH_HAVE_SIMD
+// Raw kernel-table exp: no tensor allocation, no autograd, no pool — the
+// cost of the vectorized polynomial itself, elements/second.
+void BM_VecExp(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<float> x(static_cast<size_t>(n));
+  std::vector<float> y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    x[static_cast<size_t>(i)] =
+        -10.0f + 20.0f * static_cast<float>(i) / static_cast<float>(n);
+  }
+  const auto kern = simd::Kernels().exp_fwd;
+  for (auto _ : state) {
+    kern(x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(simd::BackendName());
+}
+BENCHMARK(BM_VecExp)->Arg(4096)->Arg(1 << 16);
+#endif  // FOCUS_BENCH_HAVE_SIMD
 
 // ProtoAttn forward cost as the token count l grows: expect ~linear time.
 void BM_ProtoAttnForward(benchmark::State& state) {

@@ -4,9 +4,16 @@
 #   1. lint      — scripts/focus_lint.py (repo + format rules), plus
 #                  clang-format/clang-tidy when those tools are installed.
 #   2. default   — Release build with -Werror; full ctest suite.
-#   3. asan      — AddressSanitizer + UBSan (-fno-sanitize-recover): any
-#                  heap error or UB aborts the test.
-#   4. tsan      — ThreadSanitizer; the suite additionally re-runs the
+#   3. simdoff   — Release build with -DFOCUS_SIMD=OFF (the AVX2 backend is
+#                  not even compiled); re-runs the `parity` and `core` test
+#                  labels to prove the scalar backend alone satisfies the
+#                  numeric and bit-identity contracts.
+#   4. asan      — AddressSanitizer + UBSan (-fno-sanitize-recover): any
+#                  heap error or UB aborts the test. Runs with
+#                  FOCUS_SIMD=scalar so every lane access is a plain float
+#                  read the sanitizers can attribute byte-exactly (a 32-byte
+#                  vector load can mask a 4-byte overrun).
+#   5. tsan      — ThreadSanitizer; the suite additionally re-runs the
 #                  parallel-sensitive tests with FOCUS_NUM_THREADS=4 and 8
 #                  (registered by tests/CMakeLists.txt under FOCUS_TSAN).
 #
@@ -17,7 +24,8 @@
 #
 # Usage:
 #   scripts/check.sh                # full matrix
-#   scripts/check.sh lint           # one leg: lint | default | asan | tsan
+#   scripts/check.sh lint           # one leg:
+#                                   #   lint|default|simdoff|asan|tsan
 #   FOCUS_CHECK_JOBS=8 scripts/check.sh   # override build parallelism
 set -euo pipefail
 
@@ -66,6 +74,22 @@ run_leg_default() {
     -DCMAKE_BUILD_TYPE=Release -DFOCUS_WERROR=ON
 }
 
+run_leg_simdoff() {
+  # Scalar-only build: -DFOCUS_SIMD=OFF removes the AVX2 TU from the
+  # target entirely, so this leg fails to even link if anything outside
+  # src/tensor/simd grew a hard dependency on the vector backend. The
+  # parity label carries the bit-identity contracts; core carries the
+  # numeric kernels and the end-to-end model path.
+  local dir=build-simdoff
+  note "configure $dir (-DFOCUS_SIMD=OFF)"
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release -DFOCUS_SIMD=OFF \
+    -DFOCUS_BUILD_BENCH=OFF >/dev/null
+  note "build $dir"
+  cmake --build "$dir" -j "$JOBS"
+  note "ctest $dir (-L 'parity|core')"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L 'parity|core'
+}
+
 run_leg_asan() {
   # Bypass the caching allocator (FOCUS_ALLOC_CACHE_MB=0) so every freed
   # tensor buffer really goes back to the system and ASan keeps catching
@@ -73,7 +97,11 @@ run_leg_asan() {
   # buffer would look live to ASan. The allocator's own caching paths are
   # still exercised here: allocator_test and parity_test raise the cap
   # programmatically via SetCapBytes().
-  FOCUS_ALLOC_CACHE_MB=0 configure_build_test build-asan \
+  # FOCUS_SIMD=scalar keeps the run on the portable backend: identical
+  # numbers (the parity tests prove it), but every lane access is a plain
+  # float read ASan/UBSan can attribute precisely, instead of a 32-byte
+  # vector load that can mask a 4-byte overrun.
+  FOCUS_ALLOC_CACHE_MB=0 FOCUS_SIMD=scalar configure_build_test build-asan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFOCUS_ASAN=ON -DFOCUS_BUILD_BENCH=OFF
 }
 
@@ -82,15 +110,17 @@ run_leg_tsan() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFOCUS_TSAN=ON -DFOCUS_BUILD_BENCH=OFF
 }
 
-LEGS=("${@:-lint default asan tsan}")
-[ $# -gt 0 ] && LEGS=("$@") || LEGS=(lint default asan tsan)
+LEGS=("${@:-lint default simdoff asan tsan}")
+[ $# -gt 0 ] && LEGS=("$@") || LEGS=(lint default simdoff asan tsan)
 for leg in "${LEGS[@]}"; do
   case "$leg" in
     lint)    run_leg_lint ;;
     default) run_leg_default ;;
+    simdoff) run_leg_simdoff ;;
     asan)    run_leg_asan ;;
     tsan)    run_leg_tsan ;;
-    *) echo "check.sh: unknown leg '$leg' (want lint|default|asan|tsan)" >&2
+    *) echo "check.sh: unknown leg '$leg'" \
+            "(want lint|default|simdoff|asan|tsan)" >&2
        exit 2 ;;
   esac
 done

@@ -21,6 +21,11 @@ repo rules — correctness contracts from the parallel-kernel layer:
   op-entry-guard     Every public op entry point in src/tensor/ops_*.cc
                      (a function declared in tensor/ops.h) must open with a
                      FOCUS_*CHECK validation of its operands.
+  simd-containment   <immintrin.h> includes and _mm256* identifiers are
+                     confined to src/tensor/simd/. Everything else reaches
+                     vector code through simd::KernelTable, which is what
+                     keeps the scalar backend and the FOCUS_SIMD=OFF build
+                     bit-identical; there is no NOLINT escape.
 
 format rules — mechanical style (what clang-format would enforce; kept
 tool-free so the check runs in a bare container):
@@ -39,7 +44,8 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-CXX_GLOBS = ("src/**/*.cc", "src/**/*.h", "tests/*.cc", "tests/*.h")
+CXX_GLOBS = ("src/**/*.cc", "src/**/*.h", "src/**/*.inc", "tests/*.cc",
+             "tests/*.h")
 KERNEL_DIRS = ("src/tensor", "src/parallel")
 MAX_LINE = 80
 
@@ -165,6 +171,25 @@ def check_raw_float_new(path, raw, code):
                "Allocator::Get().Allocate() so they are recycled and counted")
 
 
+def check_simd_containment(path, raw, code):
+    # Raw intrinsics anywhere else would fork the numerics: the determinism
+    # contract holds because every vector kernel is compiled once from
+    # src/tensor/simd and selected through simd::KernelTable. Like
+    # raw-float-new, this rule has no NOLINT escape — add a kernel to the
+    # table instead.
+    rel = str(path.relative_to(REPO_ROOT)).replace("\\", "/")
+    if rel.startswith("src/tensor/simd/"):
+        return
+    for m in re.finditer(r"#\s*include\s*[<\"]immintrin\.h[>\"]", code):
+        report(path, line_of(code, m.start()), "simd-containment",
+               "<immintrin.h> outside src/tensor/simd/; route vector code "
+               "through simd::KernelTable")
+    for m in re.finditer(r"\b_mm256\w*", code):
+        report(path, line_of(code, m.start()), "simd-containment",
+               f"intrinsic '{m.group(0)}' outside src/tensor/simd/; route "
+               "vector code through simd::KernelTable")
+
+
 def public_op_names():
     """Free functions declared in tensor/ops.h (the public op surface)."""
     header = strip_comments_and_strings(
@@ -236,6 +261,7 @@ def main():
             check_flop_in_parallel(path, raw, code)
             check_raw_array_new(path, raw, code)
             check_raw_float_new(path, raw, code)
+            check_simd_containment(path, raw, code)
             check_op_entry_guard(path, raw, code, op_names)
         if "format" in families:
             check_format(path, raw)

@@ -1,0 +1,265 @@
+#!/usr/bin/env python3
+"""Generates and validates the polynomial coefficients in src/tensor/simd.
+
+The SIMD layer's determinism contract requires VecExp / VecTanh /
+VecSigmoid / VecErf to produce bit-identical results on every backend, so
+libm (whose implementation varies by libc and ISA) cannot be used in any
+vector or scalar-fallback path. Instead both backends evaluate the *same*
+fixed polynomials with the same FMA operation order. This script is the
+provenance of those coefficients:
+
+  1. fits each kernel polynomial by weighted least squares on Chebyshev
+     nodes (pure python, double precision; no numpy needed),
+  2. rounds the coefficients to float32,
+  3. re-runs the *float32-emulated* evaluation pipeline (including the
+     Cody-Waite reduction and 2^n scaling for exp) over a dense sweep and
+     reports the max error in ulps of the float reference
+     (double libm rounded to float).
+
+tests/simd_test.cc re-checks the shipped implementation against the same
+ULP bounds in C++, which is the authoritative gate; this script exists so
+the numbers in vec_common.h are reproducible rather than folklore.
+
+Usage: python3 scripts/gen_simd_coeffs.py
+"""
+
+import struct
+from math import cos, pi, exp, tanh, erf, erfc, inf
+
+
+# --- float32 emulation -------------------------------------------------------
+
+
+def f32(x):
+    """Rounds a python float (double) to the nearest float32."""
+    return struct.unpack("<f", struct.pack("<f", x))[0]
+
+
+def f32_bits(x):
+    return struct.unpack("<I", struct.pack("<f", x))[0]
+
+
+def bits_f32(b):
+    return struct.unpack("<f", struct.pack("<I", b & 0xFFFFFFFF))[0]
+
+
+def fma32(a, b, c):
+    """float32 fused multiply-add. a*b is exact in double (24+24 bits);
+    the +c then float-rounding is a double rounding, which can differ from
+    a true single-rounded fma in rare half-ulp cases — fine for the
+    generation-time sweep; the C++ test is the authoritative ULP check."""
+    return f32(a * b + c)
+
+
+def ulp32(x):
+    """Spacing of float32 at |x| (subnormal-aware)."""
+    ax = abs(x)
+    b = f32_bits(f32(ax))
+    return bits_f32(b + 1) - bits_f32(b) if ax != inf else inf
+
+
+def ulp_err(approx, ref):
+    if approx == ref:
+        return 0.0
+    if ref == 0.0:
+        return abs(approx) / ulp32(0.0)
+    return abs(approx - ref) / ulp32(ref)
+
+
+# --- tiny linear algebra -----------------------------------------------------
+
+
+def gauss_solve(a, b):
+    n = len(b)
+    m = [row[:] + [b[i]] for i, row in enumerate(a)]
+    for col in range(n):
+        piv = max(range(col, n), key=lambda r: abs(m[r][col]))
+        m[col], m[piv] = m[piv], m[col]
+        for r in range(col + 1, n):
+            f = m[r][col] / m[col][col]
+            for c in range(col, n + 1):
+                m[r][c] -= f * m[col][c]
+    x = [0.0] * n
+    for r in range(n - 1, -1, -1):
+        x[r] = (m[r][n] - sum(m[r][c] * x[c] for c in range(r + 1, n))) \
+            / m[r][r]
+    return x
+
+
+def fit_monomial(f, lo, hi, deg, samples=3000):
+    """Least-squares fit of f on [lo, hi] (relative-error weighting) in the
+    Chebyshev basis, converted to monomial coefficients c0..c_deg."""
+    n = deg + 1
+    rows, ys = [], []
+    for i in range(samples):
+        x = (lo + hi) / 2 + (hi - lo) / 2 * cos(pi * (i + 0.5) / samples)
+        u = (2 * x - (lo + hi)) / (hi - lo)
+        t = [1.0, u]
+        for _ in range(2, n):
+            t.append(2 * u * t[-1] - t[-2])
+        fx = f(x)
+        w = 1.0 / abs(fx) if fx != 0 else 1.0
+        rows.append([tk * w for tk in t[:n]])
+        ys.append(fx * w)
+    ata = [[sum(r[i] * r[j] for r in rows) for j in range(n)]
+           for i in range(n)]
+    atb = [sum(rows[k][i] * ys[k] for k in range(len(rows)))
+           for i in range(n)]
+    c_cheb = gauss_solve(ata, atb)
+
+    # Chebyshev polynomials as monomials in u.
+    polys = [[1.0], [0.0, 1.0]]
+    for _ in range(2, n):
+        prev, prev2 = polys[-1], polys[-2]
+        nxt = [0.0] + [2 * p for p in prev]
+        for j, p in enumerate(prev2):
+            nxt[j] -= p
+        polys.append(nxt)
+    mono_u = [0.0] * n
+    for k in range(n):
+        for j, cj in enumerate(polys[k]):
+            mono_u[j] += c_cheb[k] * cj
+
+    # Substitute u = alpha*x + beta (affine map back to [lo, hi]).
+    alpha = 2.0 / (hi - lo)
+    beta = -(lo + hi) / (hi - lo)
+    res = [mono_u[deg]]
+    for k in range(deg - 1, -1, -1):
+        shifted = [0.0] * (len(res) + 1)
+        for j, r in enumerate(res):  # res * (beta + alpha*x)
+            shifted[j] += r * beta
+            shifted[j + 1] += r * alpha
+        shifted[0] += mono_u[k]
+        res = shifted
+    return [f32(c) for c in res]
+
+
+def horner32(coeffs, z):
+    acc = coeffs[-1]
+    for c in reversed(coeffs[:-1]):
+        acc = fma32(acc, z, c)
+    return acc
+
+
+# --- emulated kernel pipelines (mirror vec_common.h op for op) ---------------
+
+EXP_HI = f32(89.0)  # just past ln(FLT_MAX); beyond it exp == +inf
+EXP_LO = f32(-103.972084045410)
+LOG2E = f32(1.44269504088896341)
+LN2_HI = f32(0.693359375)
+LN2_LO = f32(-2.12194440e-4)
+
+
+def pow2i32(n):
+    return bits_f32((int(n) + 127) << 23)
+
+
+def emu_exp(coeffs, x):
+    x = min(max(x, EXP_LO), EXP_HI)
+    n = float(round(f32(x * LOG2E)))  # round half to even, as vroundps
+    r = fma32(-n, LN2_HI, x)
+    r = fma32(-n, LN2_LO, r)
+    q = horner32(coeffs, r)          # (exp(r)-1-r)/r^2
+    q = f32(fma32(q, f32(r * r), r) + 1.0)
+    a = max(min(n, 127.0), -126.0)
+    b = n - a
+    return f32(f32(q * pow2i32(a)) * pow2i32(b))
+
+
+TANH_BRANCH = f32(0.625)
+
+
+def emu_tanh(exp_coeffs, coeffs, x):
+    a = abs(x)
+    if a >= TANH_BRANCH:
+        e = emu_exp(exp_coeffs, f32(a + a))
+        r = f32(1.0 - f32(f32(2.0) / f32(e + 1.0)))
+        return f32(-r) if x < 0 else r
+    z = f32(x * x)
+    p = horner32(coeffs, z)          # (tanh(x)-x)/(x*z)
+    return fma32(f32(p * z), x, x)
+
+
+def emu_sigmoid(exp_coeffs, x):
+    e = emu_exp(exp_coeffs, f32(-x))
+    return f32(1.0 / f32(1.0 + e))
+
+
+ERF_BRANCH = f32(0.84375)
+
+
+def emu_erf(exp_coeffs, small, tail, x):
+    a = abs(x)
+    if a < ERF_BRANCH:
+        z = f32(a * a)
+        p = horner32(small, z)       # erf(a)/a
+        return f32(x * p)
+    t = f32(1.0 / a)
+    w = horner32(tail, t)            # erfc(a)*exp(a*a)
+    h = f32(a * a)
+    l = fma32(a, a, -h)              # exact remainder of the squaring
+    e = f32(emu_exp(exp_coeffs, f32(-h)) * f32(1.0 - l))
+    r = f32(1.0 - f32(e * w))
+    return f32(-r) if x < 0 else r
+
+
+# --- sweeps ------------------------------------------------------------------
+
+
+def sweep(name, fn, ref, lo, hi, n=200001, bound=4.0):
+    worst, worst_x = 0.0, 0.0
+    for i in range(n):
+        x = f32(lo + (hi - lo) * i / (n - 1))
+        e = ulp_err(fn(x), f32(ref(x)))
+        if e > worst:
+            worst, worst_x = e, x
+    status = "OK" if worst <= bound else "FAIL"
+    print(f"  {name:<10} [{lo:+9.2f}, {hi:+9.2f}]  max {worst:5.2f} ulp "
+          f"at x={worst_x:+.6g}  ({status}, bound {bound})")
+    return worst <= bound
+
+
+def emit(name, coeffs):
+    body = ", ".join(f"{c:.9g}f" for c in coeffs)
+    print(f"inline constexpr float {name}[] = {{{body}}};")
+
+
+def main():
+    print("== fitting ==")
+    exp_c = fit_monomial(
+        lambda r: (exp(r) - 1.0 - r) / (r * r), -0.3466, 0.3466, 5)
+    # tanh / erf polynomials are evaluated in z = x^2, so fit over z.
+    tanh_c = fit_monomial(
+        lambda z: (tanh(z ** 0.5) - z ** 0.5) / (z ** 1.5),
+        1e-8, float(TANH_BRANCH) ** 2, 4)
+    erf_small_c = fit_monomial(
+        lambda z: erf(z ** 0.5) / (z ** 0.5),
+        1e-10, float(ERF_BRANCH) ** 2, 7)
+    # Tail fitted in t = 1/a: W(t) = erfc(1/t) * exp(1/t^2).
+    erf_tail_c = fit_monomial(
+        lambda t: erfc(1.0 / t) * exp(1.0 / (t * t)),
+        1.0 / 4.2, 1.0 / float(ERF_BRANCH), 8)
+
+    print("\n== float32 coefficient arrays (paste into vec_common.h) ==")
+    emit("kExpPoly", exp_c)
+    emit("kTanhPoly", tanh_c)
+    emit("kErfSmallPoly", erf_small_c)
+    emit("kErfTailPoly", erf_tail_c)
+
+    print("\n== emulated-float32 validation sweeps ==")
+    ok = True
+    ok &= sweep("exp", lambda x: emu_exp(exp_c, x),
+                exp, -88.0, 88.0)
+    ok &= sweep("tanh", lambda x: emu_tanh(exp_c, tanh_c, x),
+                tanh, -10.0, 10.0)
+    ok &= sweep("sigmoid", lambda x: emu_sigmoid(exp_c, x),
+                lambda x: 1.0 / (1.0 + exp(-x)), -30.0, 30.0)
+    ok &= sweep("erf", lambda x: emu_erf(exp_c, erf_small_c, erf_tail_c, x),
+                erf, -10.0, 10.0)
+    if not ok:
+        raise SystemExit("coefficient validation failed")
+    print("\nall sweeps within bounds")
+
+
+if __name__ == "__main__":
+    main()

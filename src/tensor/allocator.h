@@ -72,8 +72,10 @@ class Allocator {
   static Allocator& Get();
 
   // Returns a buffer of at least `numel` floats (its real capacity is
-  // SizeClassFloats(numel)). Contents are uninitialized garbage — callers
-  // must write before reading, exactly as with Tensor::Empty.
+  // SizeClassFloats(numel)), 64-byte aligned — one cache line, two AVX2
+  // registers — so SIMD kernels never split a load across lines. Contents
+  // are uninitialized garbage — callers must write before reading,
+  // exactly as with Tensor::Empty.
   float* Allocate(int64_t numel);
 
   // Returns the buffer from Allocate(numel) — the same `numel` the caller

@@ -38,6 +38,7 @@ Tensor Relu(const Tensor& x);
 Tensor Gelu(const Tensor& x);   // tanh approximation
 Tensor Sigmoid(const Tensor& x);
 Tensor Tanh(const Tensor& x);
+Tensor Erf(const Tensor& x);    // Gauss error function
 
 // --- Linear algebra ---------------------------------------------------------
 // Supports (m,k)x(k,n), batched (b,m,k)x(b,k,n), and broadcast

@@ -9,6 +9,14 @@
 // accumulation order of the serial kernel, so results are bit-identical for
 // any FOCUS_NUM_THREADS. FLOP counts are computed once from the resolved
 // shapes on the launching thread, outside the parallel regions.
+//
+// SIMD routing: the stride-1 case (every conv in the model zoo) maps each
+// kernel tap to a contiguous inner product — axpy for forward/dX, dot for
+// dW — through the SIMD layer; tap order (ci, kk ascending) is preserved,
+// so results stay deterministic across backends and thread counts. Strided
+// convs keep the scalar gather loops (shared by both backends by
+// construction: this TU is compiled once, without ISA-specific flags).
+#include <algorithm>
 #include <cstring>
 
 #include "parallel/thread_pool.h"
@@ -17,8 +25,21 @@
 #include "tensor/ops.h"
 #include "tensor/ops_common.h"
 #include "tensor/profile_hooks.h"
+#include "tensor/simd/vec.h"
 
 namespace focus {
+
+namespace {
+
+// Output range [lo0, lo1) whose stride-1 input index lo + base stays
+// inside [0, len).
+inline void ValidRange(int64_t base, int64_t len, int64_t out_len,
+                       int64_t* lo0, int64_t* lo1) {
+  *lo0 = std::max<int64_t>(0, -base);
+  *lo1 = std::min(out_len, len - base);
+}
+
+}  // namespace
 
 Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias,
               int64_t stride, int64_t padding, int64_t dilation) {
@@ -43,6 +64,7 @@ Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias,
     const float* pw = w.data();
     const float* pb = bias.defined() ? bias.data() : nullptr;
     float* po = out.data();
+    const simd::KernelTable& kt = simd::Kernels();
     ParallelFor(0, B * Cout, 1, [&](int64_t r0, int64_t r1) {
       for (int64_t r = r0; r < r1; ++r) {
         const int64_t b = r / Cout, co = r % Cout;
@@ -57,9 +79,16 @@ Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias,
           for (int64_t kk = 0; kk < K; ++kk) {
             const float wv = wrow[kk];
             const int64_t base = kk * dilation - padding;
-            for (int64_t lo = 0; lo < Lout; ++lo) {
-              const int64_t li = lo * stride + base;
-              if (li >= 0 && li < L) orow[lo] += wv * xrow[li];
+            if (stride == 1) {
+              int64_t lo0, lo1;
+              ValidRange(base, L, Lout, &lo0, &lo1);
+              if (lo1 > lo0)
+                kt.axpy(wv, xrow + lo0 + base, orow + lo0, lo1 - lo0);
+            } else {
+              for (int64_t lo = 0; lo < Lout; ++lo) {
+                const int64_t li = lo * stride + base;
+                if (li >= 0 && li < L) orow[lo] += wv * xrow[li];
+              }
             }
           }
         }
@@ -83,6 +112,7 @@ Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias,
         float* pgx = gx.data();
         float* pgw = gw.data();
         float* pgb = has_bias ? gb.data() : nullptr;
+        const simd::KernelTable& kt = simd::Kernels();
         // dX: batch entries own disjoint gx slices; within one, channels
         // accumulate co-ascending as in the serial kernel.
         ParallelFor(0, B, 1, [&](int64_t b0, int64_t b1) {
@@ -95,9 +125,17 @@ Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias,
                 for (int64_t kk = 0; kk < K; ++kk) {
                   const float wv = wrow[kk];
                   const int64_t base = kk * dilation - padding;
-                  for (int64_t lo = 0; lo < Lout; ++lo) {
-                    const int64_t li = lo * stride + base;
-                    if (li >= 0 && li < L) gxrow[li] += wv * grow[lo];
+                  if (stride == 1) {
+                    int64_t lo0, lo1;
+                    ValidRange(base, L, Lout, &lo0, &lo1);
+                    if (lo1 > lo0)
+                      kt.axpy(wv, grow + lo0, gxrow + lo0 + base,
+                              lo1 - lo0);
+                  } else {
+                    for (int64_t lo = 0; lo < Lout; ++lo) {
+                      const int64_t li = lo * stride + base;
+                      if (li >= 0 && li < L) gxrow[li] += wv * grow[lo];
+                    }
                   }
                 }
               }
@@ -110,22 +148,26 @@ Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias,
           for (int64_t co = c0; co < c1; ++co) {
             for (int64_t b = 0; b < B; ++b) {
               const float* grow = pg + (b * Cout + co) * Lout;
-              if (pgb != nullptr) {
-                float acc = 0.0f;
-                for (int64_t lo = 0; lo < Lout; ++lo) acc += grow[lo];
-                pgb[co] += acc;
-              }
+              if (pgb != nullptr) pgb[co] += kt.row_sum(grow, Lout);
               for (int64_t ci = 0; ci < Cin; ++ci) {
                 const float* xrow = px + (b * Cin + ci) * L;
                 float* gwrow = pgw + (co * Cin + ci) * K;
                 for (int64_t kk = 0; kk < K; ++kk) {
                   const int64_t base = kk * dilation - padding;
-                  float wacc = 0.0f;
-                  for (int64_t lo = 0; lo < Lout; ++lo) {
-                    const int64_t li = lo * stride + base;
-                    if (li >= 0 && li < L) wacc += xrow[li] * grow[lo];
+                  if (stride == 1) {
+                    int64_t lo0, lo1;
+                    ValidRange(base, L, Lout, &lo0, &lo1);
+                    if (lo1 > lo0)
+                      gwrow[kk] += kt.dot(xrow + lo0 + base, grow + lo0,
+                                          lo1 - lo0);
+                  } else {
+                    float wacc = 0.0f;
+                    for (int64_t lo = 0; lo < Lout; ++lo) {
+                      const int64_t li = lo * stride + base;
+                      if (li >= 0 && li < L) wacc += xrow[li] * grow[lo];
+                    }
+                    gwrow[kk] += wacc;
                   }
-                  gwrow[kk] += wacc;
                 }
               }
             }
@@ -157,6 +199,7 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
     const float* pw = w.data();
     const float* pb = bias.defined() ? bias.data() : nullptr;
     float* po = out.data();
+    const simd::KernelTable& kt = simd::Kernels();
     ParallelFor(0, B * Cout, 1, [&](int64_t r0, int64_t r1) {
       for (int64_t r = r0; r < r1; ++r) {
         const int64_t b = r / Cout, co = r % Cout;
@@ -171,14 +214,23 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
           for (int64_t kh = 0; kh < KH; ++kh) {
             for (int64_t kw = 0; kw < KW; ++kw) {
               const float wv = wplane[kh * KW + kw];
+              const int64_t base_w = kw - padding;
               for (int64_t ho = 0; ho < Hout; ++ho) {
                 const int64_t hi = ho * stride + kh - padding;
                 if (hi < 0 || hi >= H) continue;
                 float* orow = oplane + ho * Wout;
                 const float* xrow = xplane + hi * W;
-                for (int64_t wo = 0; wo < Wout; ++wo) {
-                  const int64_t wi = wo * stride + kw - padding;
-                  if (wi >= 0 && wi < W) orow[wo] += wv * xrow[wi];
+                if (stride == 1) {
+                  int64_t wo0, wo1;
+                  ValidRange(base_w, W, Wout, &wo0, &wo1);
+                  if (wo1 > wo0)
+                    kt.axpy(wv, xrow + wo0 + base_w, orow + wo0,
+                            wo1 - wo0);
+                } else {
+                  for (int64_t wo = 0; wo < Wout; ++wo) {
+                    const int64_t wi = wo * stride + base_w;
+                    if (wi >= 0 && wi < W) orow[wo] += wv * xrow[wi];
+                  }
                 }
               }
             }
@@ -204,6 +256,7 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
         float* pgx = gx.data();
         float* pgw = gw.data();
         float* pgb = has_bias ? gb.data() : nullptr;
+        const simd::KernelTable& kt = simd::Kernels();
         // dX: parallel over batch (disjoint gx planes per shard).
         ParallelFor(0, B, 1, [&](int64_t b0, int64_t b1) {
           for (int64_t b = b0; b < b1; ++b) {
@@ -215,14 +268,24 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
                 for (int64_t kh = 0; kh < KH; ++kh) {
                   for (int64_t kw = 0; kw < KW; ++kw) {
                     const float wv = wplane[kh * KW + kw];
+                    const int64_t base_w = kw - padding;
                     for (int64_t ho = 0; ho < Hout; ++ho) {
                       const int64_t hi = ho * stride + kh - padding;
                       if (hi < 0 || hi >= H) continue;
                       const float* grow = gplane + ho * Wout;
                       float* gxrow = gxplane + hi * W;
-                      for (int64_t wo = 0; wo < Wout; ++wo) {
-                        const int64_t wi = wo * stride + kw - padding;
-                        if (wi >= 0 && wi < W) gxrow[wi] += wv * grow[wo];
+                      if (stride == 1) {
+                        int64_t wo0, wo1;
+                        ValidRange(base_w, W, Wout, &wo0, &wo1);
+                        if (wo1 > wo0)
+                          kt.axpy(wv, grow + wo0, gxrow + wo0 + base_w,
+                                  wo1 - wo0);
+                      } else {
+                        for (int64_t wo = 0; wo < Wout; ++wo) {
+                          const int64_t wi = wo * stride + base_w;
+                          if (wi >= 0 && wi < W)
+                            gxrow[wi] += wv * grow[wo];
+                        }
                       }
                     }
                   }
@@ -236,25 +299,32 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
           for (int64_t co = c0; co < c1; ++co) {
             for (int64_t b = 0; b < B; ++b) {
               const float* gplane = pg + (b * Cout + co) * Hout * Wout;
-              if (pgb != nullptr) {
-                float acc = 0.0f;
-                for (int64_t i = 0; i < Hout * Wout; ++i) acc += gplane[i];
-                pgb[co] += acc;
-              }
+              if (pgb != nullptr)
+                pgb[co] += kt.row_sum(gplane, Hout * Wout);
               for (int64_t ci = 0; ci < Cin; ++ci) {
                 const float* xplane = px + (b * Cin + ci) * H * W;
                 float* gwplane = pgw + (co * Cin + ci) * KH * KW;
                 for (int64_t kh = 0; kh < KH; ++kh) {
                   for (int64_t kw = 0; kw < KW; ++kw) {
+                    const int64_t base_w = kw - padding;
                     float wacc = 0.0f;
                     for (int64_t ho = 0; ho < Hout; ++ho) {
                       const int64_t hi = ho * stride + kh - padding;
                       if (hi < 0 || hi >= H) continue;
                       const float* grow = gplane + ho * Wout;
                       const float* xrow = xplane + hi * W;
-                      for (int64_t wo = 0; wo < Wout; ++wo) {
-                        const int64_t wi = wo * stride + kw - padding;
-                        if (wi >= 0 && wi < W) wacc += xrow[wi] * grow[wo];
+                      if (stride == 1) {
+                        int64_t wo0, wo1;
+                        ValidRange(base_w, W, Wout, &wo0, &wo1);
+                        if (wo1 > wo0)
+                          wacc += kt.dot(xrow + wo0 + base_w, grow + wo0,
+                                         wo1 - wo0);
+                      } else {
+                        for (int64_t wo = 0; wo < Wout; ++wo) {
+                          const int64_t wi = wo * stride + base_w;
+                          if (wi >= 0 && wi < W)
+                            wacc += xrow[wi] * grow[wo];
+                        }
                       }
                     }
                     gwplane[kh * KW + kw] += wacc;

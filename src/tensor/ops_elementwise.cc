@@ -14,6 +14,7 @@
 #include "tensor/flops.h"
 #include "tensor/ops.h"
 #include "tensor/ops_common.h"
+#include "tensor/simd/vec.h"
 
 namespace focus {
 
@@ -22,14 +23,24 @@ namespace {
 using internal_ops::BroadcastReadStrides;
 using internal_ops::ReduceGradToShape;
 
+// SIMD kernel-table entry types (see src/tensor/simd/vec.h).
+using BinK = void (*)(const float*, const float*, float*, int64_t);
+using UnK = void (*)(const float*, float*, int64_t);
+// Backward kernels are referenced as table members so the backend is
+// re-resolved when the backward pass actually runs.
+using BwdKMember = BinK simd::KernelTable::*;
+
 // Minimum elements per shard: below this, pool dispatch costs more than the
 // arithmetic it spreads.
 constexpr int64_t kElemGrain = 16384;
 
-// Applies `f` elementwise with NumPy broadcasting. The fast path covers the
-// overwhelmingly common equal-shape case.
+// Applies `f` elementwise with NumPy broadcasting. The equal-shape fast
+// path — the overwhelmingly common case — runs through the SIMD kernel
+// `kern`; lane grouping carries no cross-element data flow, so chunk
+// boundaries cannot change results. The broadcast path stays scalar
+// (`f`): its gather indexing defeats contiguous vector loads.
 template <typename F>
-Tensor BinaryKernel(const Tensor& a, const Tensor& b, F f) {
+Tensor BinaryKernel(const Tensor& a, const Tensor& b, BinK kern, F f) {
   if (a.shape() == b.shape()) {
     Tensor out = Tensor::Empty(a.shape());
     const float* pa = a.data();
@@ -37,7 +48,7 @@ Tensor BinaryKernel(const Tensor& a, const Tensor& b, F f) {
     float* po = out.data();
     const int64_t n = a.numel();
     ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) po[i] = f(pa[i], pb[i]);
+      kern(pa + i0, pb + i0, po + i0, i1 - i0);
     });
     FlopCounter::Add(n);
     return out;
@@ -103,12 +114,46 @@ Tensor UnaryOp(const Tensor& x, const char* name,
       });
 }
 
+// SIMD-routed unary op: forward through a resolved table kernel,
+// backward through a table *member* (re-resolved at backward time).
+// The backward kernel receives the saved tensor — the input x or the
+// output y, whichever `save_input` picks — plus the incoming gradient.
+Tensor RoutedUnary(const Tensor& x, const char* name, UnK fwd,
+                   BwdKMember bwd, bool save_input) {
+  Tensor out = Tensor::Empty(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  const int64_t n = x.numel();
+  ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
+    fwd(px + i0, po + i0, i1 - i0);
+  });
+  FlopCounter::Add(2 * n);
+
+  Tensor saved = save_input ? x.Detach() : out.Detach();
+  return autograd::MakeResult(
+      out, name, {x},
+      [saved, bwd](const Tensor& g) -> std::vector<Tensor> {
+        Tensor gin = Tensor::Empty(saved.shape());
+        const float* ps = saved.data();
+        const float* pg = g.data();
+        float* pi = gin.data();
+        const int64_t n = gin.numel();
+        const BinK k = simd::Kernels().*bwd;
+        ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
+          k(ps + i0, pg + i0, pi + i0, i1 - i0);
+        });
+        FlopCounter::Add(2 * n);
+        return {gin};
+      });
+}
+
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   FOCUS_OP_INPUT_CHECK("Add", a);
   FOCUS_OP_INPUT_CHECK("Add", b);
-  Tensor out = BinaryKernel(a, b, [](float x, float y) { return x + y; });
+  Tensor out = BinaryKernel(a, b, simd::Kernels().add,
+                            [](float x, float y) { return x + y; });
   Shape sa = a.shape(), sb = b.shape();
   return autograd::MakeResult(
       out, "Add", {a, b}, [sa, sb](const Tensor& g) -> std::vector<Tensor> {
@@ -119,7 +164,8 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 Tensor Sub(const Tensor& a, const Tensor& b) {
   FOCUS_OP_INPUT_CHECK("Sub", a);
   FOCUS_OP_INPUT_CHECK("Sub", b);
-  Tensor out = BinaryKernel(a, b, [](float x, float y) { return x - y; });
+  Tensor out = BinaryKernel(a, b, simd::Kernels().sub,
+                            [](float x, float y) { return x - y; });
   Shape sa = a.shape(), sb = b.shape();
   return autograd::MakeResult(
       out, "Sub", {a, b}, [sa, sb](const Tensor& g) -> std::vector<Tensor> {
@@ -131,7 +177,8 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 Tensor Mul(const Tensor& a, const Tensor& b) {
   FOCUS_OP_INPUT_CHECK("Mul", a);
   FOCUS_OP_INPUT_CHECK("Mul", b);
-  Tensor out = BinaryKernel(a, b, [](float x, float y) { return x * y; });
+  Tensor out = BinaryKernel(a, b, simd::Kernels().mul,
+                            [](float x, float y) { return x * y; });
   Tensor ad = a.Detach(), bd = b.Detach();
   return autograd::MakeResult(
       out, "Mul", {a, b}, [ad, bd](const Tensor& g) -> std::vector<Tensor> {
@@ -144,7 +191,8 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 Tensor Div(const Tensor& a, const Tensor& b) {
   FOCUS_OP_INPUT_CHECK("Div", a);
   FOCUS_OP_INPUT_CHECK("Div", b);
-  Tensor out = BinaryKernel(a, b, [](float x, float y) { return x / y; });
+  Tensor out = BinaryKernel(a, b, simd::Kernels().div,
+                            [](float x, float y) { return x / y; });
   Tensor ad = a.Detach(), bd = b.Detach();
   return autograd::MakeResult(
       out, "Div", {a, b}, [ad, bd](const Tensor& g) -> std::vector<Tensor> {
@@ -161,8 +209,9 @@ Tensor AddScalar(const Tensor& x, float s) {
   Tensor out = Tensor::Empty(x.shape());
   const float* px = x.data();
   float* po = out.data();
+  const auto kern = simd::Kernels().add_scalar;
   ParallelFor(0, x.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) po[i] = px[i] + s;
+    kern(px + i0, s, po + i0, i1 - i0);
   });
   FlopCounter::Add(x.numel());
   return autograd::MakeResult(
@@ -175,8 +224,9 @@ Tensor MulScalar(const Tensor& x, float s) {
   Tensor out = Tensor::Empty(x.shape());
   const float* px = x.data();
   float* po = out.data();
+  const auto kern = simd::Kernels().mul_scalar;
   ParallelFor(0, x.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) po[i] = px[i] * s;
+    kern(px + i0, s, po + i0, i1 - i0);
   });
   FlopCounter::Add(x.numel());
   return autograd::MakeResult(
@@ -202,9 +252,10 @@ Tensor Neg(const Tensor& x) {
 
 Tensor Exp(const Tensor& x) {
   FOCUS_OP_INPUT_CHECK("Exp", x);
-  return UnaryOp(
-      x, "Exp", [](float v) { return std::exp(v); },
-      [](float, float y) { return y; });
+  // d/dx exp = exp(x) = y, so the backward is just y * g: the plain
+  // elementwise-multiply table kernel.
+  return RoutedUnary(x, "Exp", simd::Kernels().exp_fwd,
+                     &simd::KernelTable::mul, /*save_input=*/false);
 }
 
 Tensor Log(const Tensor& x) {
@@ -216,9 +267,14 @@ Tensor Log(const Tensor& x) {
 
 Tensor Sqrt(const Tensor& x) {
   FOCUS_OP_INPUT_CHECK("Sqrt", x);
-  return UnaryOp(
-      x, "Sqrt", [](float v) { return std::sqrt(v); },
-      [](float, float y) { return 0.5f / y; });
+  return RoutedUnary(x, "Sqrt", simd::Kernels().sqrt_fwd,
+                     &simd::KernelTable::sqrt_bwd, /*save_input=*/false);
+}
+
+Tensor Erf(const Tensor& x) {
+  FOCUS_OP_INPUT_CHECK("Erf", x);
+  return RoutedUnary(x, "Erf", simd::Kernels().erf_fwd,
+                     &simd::KernelTable::erf_bwd, /*save_input=*/true);
 }
 
 Tensor Abs(const Tensor& x) {
@@ -230,44 +286,29 @@ Tensor Abs(const Tensor& x) {
 
 Tensor Relu(const Tensor& x) {
   FOCUS_OP_INPUT_CHECK("Relu", x);
-  return UnaryOp(
-      x, "Relu", [](float v) { return v > 0 ? v : 0.0f; },
-      [](float v, float) { return v > 0 ? 1.0f : 0.0f; });
+  return RoutedUnary(x, "Relu", simd::Kernels().relu_fwd,
+                     &simd::KernelTable::relu_bwd, /*save_input=*/true);
 }
 
 Tensor Gelu(const Tensor& x) {
   FOCUS_OP_INPUT_CHECK("Gelu", x);
   // tanh approximation: 0.5 x (1 + tanh(c (x + 0.044715 x^3))),
-  // c = sqrt(2/pi).
-  constexpr float kC = 0.7978845608028654f;
-  constexpr float kA = 0.044715f;
-  return UnaryOp(
-      x, "Gelu",
-      [](float v) {
-        const float u = kC * (v + kA * v * v * v);
-        return 0.5f * v * (1.0f + std::tanh(u));
-      },
-      [](float v, float) {
-        const float u = kC * (v + kA * v * v * v);
-        const float t = std::tanh(u);
-        const float du = kC * (1.0f + 3.0f * kA * v * v);
-        return 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
-      });
+  // c = sqrt(2/pi); the polynomial tanh lives in the SIMD layer.
+  return RoutedUnary(x, "Gelu", simd::Kernels().gelu_fwd,
+                     &simd::KernelTable::gelu_bwd, /*save_input=*/true);
 }
 
 Tensor Sigmoid(const Tensor& x) {
   FOCUS_OP_INPUT_CHECK("Sigmoid", x);
-  return UnaryOp(
-      x, "Sigmoid",
-      [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
-      [](float, float y) { return y * (1.0f - y); });
+  return RoutedUnary(x, "Sigmoid", simd::Kernels().sigmoid_fwd,
+                     &simd::KernelTable::sigmoid_bwd,
+                     /*save_input=*/false);
 }
 
 Tensor Tanh(const Tensor& x) {
   FOCUS_OP_INPUT_CHECK("Tanh", x);
-  return UnaryOp(
-      x, "Tanh", [](float v) { return std::tanh(v); },
-      [](float, float y) { return 1.0f - y * y; });
+  return RoutedUnary(x, "Tanh", simd::Kernels().tanh_fwd,
+                     &simd::KernelTable::tanh_bwd, /*save_input=*/false);
 }
 
 Tensor MseLoss(const Tensor& pred, const Tensor& target) {
@@ -298,8 +339,9 @@ void AddInPlace(Tensor& a, const Tensor& b) {
   float* pa = a.data();
   const float* pb = b.data();
   const int64_t n = a.numel();
+  const auto kern = simd::Kernels().add_inplace;
   ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) pa[i] += pb[i];
+    kern(pa + i0, pb + i0, i1 - i0);
   });
   FlopCounter::Add(n);
   debug::CheckFiniteOutput(a, "AddInPlace");

@@ -1,13 +1,13 @@
 // Matrix multiplication with batch broadcasting, plus its backward pass.
 //
-// The forward kernel is cache-blocked (MC-row tasks) with a register-tiled
-// micro-kernel: a 4×8 C tile lives in registers for the whole k loop, so C
-// is written exactly once per element instead of being re-loaded/stored on
-// every k step as in the naive i-k-j loop, and the compiler gets eight
-// independent accumulation streams to auto-vectorize. Work is split over
-// the batch×row-block grid via ParallelFor. For every output element the
-// reduction over k runs in ascending order regardless of tiling or thread
-// count, so results are bit-identical for any FOCUS_NUM_THREADS.
+// The forward kernel is cache-blocked (MC-row tasks) and routed through
+// the SIMD layer's matmul_row_block kernel (src/tensor/simd): a 4×8 C
+// tile lives in FMA registers for the whole k loop, so C is written
+// exactly once per element. Work is split over the batch×row-block grid
+// via ParallelFor. For every output element the reduction over k runs
+// as one ascending FMA chain regardless of tiling, thread count, or
+// backend, so results are bit-identical for any FOCUS_NUM_THREADS and
+// FOCUS_SIMD setting.
 #include <algorithm>
 #include <cstring>
 
@@ -17,58 +17,16 @@
 #include "tensor/ops.h"
 #include "tensor/ops_common.h"
 #include "tensor/profile_hooks.h"
+#include "tensor/simd/vec.h"
 
 namespace focus {
 
 namespace {
 
-// Blocking parameters (floats): MC rows of A per task keeps the A panel
-// L2-resident and sizes the parallel grid; the MR×NR micro-tile is the C
-// block held in registers across the entire k loop.
+// MC rows of A per task keeps the A panel L2-resident and sizes the
+// parallel grid; the 4×8 register micro-tile lives in
+// simd::KernelTable::matmul_row_block.
 constexpr int64_t kBlockM = 64;  // MC: A/C rows per parallel task
-constexpr int64_t kMicroM = 4;   // MR: register tile height
-constexpr int64_t kMicroN = 8;   // NR: register tile width
-
-// Computes C rows [i0, i1) of one batch entry: ct[i,:] = at[i,:] @ bt.
-// Each MR×NR tile of C accumulates in registers over the full k range
-// (k ascending per element) and is stored exactly once.
-void MatMulRowBlock(const float* at, const float* bt, float* ct, int64_t i0,
-                    int64_t i1, int64_t k, int64_t n) {
-  int64_t j0 = 0;
-  for (; j0 + kMicroN <= n; j0 += kMicroN) {
-    int64_t i = i0;
-    for (; i + kMicroM <= i1; i += kMicroM) {
-      float acc[kMicroM][kMicroN] = {};
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float* brow = bt + kk * n + j0;
-        for (int64_t r = 0; r < kMicroM; ++r) {
-          const float av = at[(i + r) * k + kk];
-          for (int64_t c = 0; c < kMicroN; ++c) acc[r][c] += av * brow[c];
-        }
-      }
-      for (int64_t r = 0; r < kMicroM; ++r)
-        std::memcpy(ct + (i + r) * n + j0, acc[r], sizeof(acc[r]));
-    }
-    for (; i < i1; ++i) {  // remainder rows: 1×NR tile
-      float acc[kMicroN] = {};
-      const float* arow = at + i * k;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        const float* brow = bt + kk * n + j0;
-        for (int64_t c = 0; c < kMicroN; ++c) acc[c] += av * brow[c];
-      }
-      std::memcpy(ct + i * n + j0, acc, sizeof(acc));
-    }
-  }
-  for (; j0 < n; ++j0) {  // remainder columns: scalar dot products
-    for (int64_t i = i0; i < i1; ++i) {
-      const float* arow = at + i * k;
-      float s = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) s += arow[kk] * bt[kk * n + j0];
-      ct[i * n + j0] = s;
-    }
-  }
-}
 
 // C(batch,m,n) = A(batch_a,m,k) @ B(batch_b,k,n), batch_a/batch_b in
 // {1, batch}. Parallel over the batch×row-block grid; each task owns a
@@ -77,6 +35,7 @@ void MatMulKernel(const float* a, const float* b, float* c, int64_t batch,
                   int64_t batch_a, int64_t batch_b, int64_t m, int64_t k,
                   int64_t n) {
   const int64_t row_blocks = (m + kBlockM - 1) / kBlockM;
+  const auto row_block = simd::Kernels().matmul_row_block;
   ParallelFor(0, batch * row_blocks, 1, [&](int64_t t0, int64_t t1) {
     for (int64_t task = t0; task < t1; ++task) {
       const int64_t t = task / row_blocks;
@@ -86,7 +45,7 @@ void MatMulKernel(const float* a, const float* b, float* c, int64_t batch,
       float* ct = c + t * m * n;
       const int64_t i0 = block * kBlockM;
       const int64_t i1 = std::min(m, i0 + kBlockM);
-      MatMulRowBlock(at, bt, ct, i0, i1, k, n);
+      row_block(at, bt, ct, i0, i1, k, n);
     }
   });
 }

@@ -2,16 +2,22 @@
 //
 // Per-axis Sum parallelizes over whichever of the outer/inner index spaces
 // is larger; either way each output element is reduced by exactly one
-// thread, in the serial kernel's r-ascending order, so results are
-// bit-identical for any FOCUS_NUM_THREADS. SumAll stays serial on purpose:
-// its double-precision running sum would change grouping under sharding.
+// thread. Contiguous reductions (inner == 1) go through the SIMD layer's
+// row_sum — an 8-lane strided partial-sum whose lane split is anchored
+// at the row start and whose reduction tree is fixed, so the order is
+// identical on every backend and thread count. Strided reductions
+// accumulate r-ascending per element via the SIMD add kernels. SumAll
+// stays serial on purpose: its double-precision running sum would change
+// grouping under sharding.
 #include <algorithm>
+#include <cstring>
 
 #include "parallel/thread_pool.h"
 #include "tensor/autograd.h"
 #include "tensor/flops.h"
 #include "tensor/ops.h"
 #include "tensor/ops_common.h"
+#include "tensor/simd/vec.h"
 
 namespace focus {
 
@@ -70,10 +76,22 @@ Tensor Sum(const Tensor& x, int64_t dim, bool keepdim) {
   Tensor out = Tensor::Empty(out_shape);
   const float* px = x.data();
   float* po = out.data();
+  const simd::KernelTable& kt = simd::Kernels();
   if (reduce == 0) {
     std::fill_n(po, out.numel(), 0.0f);
+  } else if (inner == 1) {
+    // Reducing the innermost dim: each output is the sum of a
+    // contiguous row — the SIMD row_sum's fixed lane split applies.
+    const int64_t grain =
+        std::max<int64_t>(1, 16384 / std::max<int64_t>(1, reduce));
+    ParallelFor(0, outer, grain, [&](int64_t o0, int64_t o1) {
+      for (int64_t o = o0; o < o1; ++o) {
+        po[o] = kt.row_sum(px + o * reduce, reduce);
+      }
+    });
   } else if (outer >= inner) {
-    // Shards own disjoint outer slices (disjoint output rows).
+    // Shards own disjoint outer slices (disjoint output rows); the
+    // reduction stays r-ascending per element (vector add over inner).
     const int64_t grain = std::max<int64_t>(
         1, 16384 / std::max<int64_t>(1, reduce * inner));
     ParallelFor(0, outer, grain, [&](int64_t o0, int64_t o1) {
@@ -82,9 +100,10 @@ Tensor Sum(const Tensor& x, int64_t dim, bool keepdim) {
         for (int64_t r = 0; r < reduce; ++r) {
           const float* row = px + (o * reduce + r) * inner;
           if (r == 0) {
-            for (int64_t i = 0; i < inner; ++i) orow[i] = row[i];
+            std::memcpy(orow, row,
+                        static_cast<size_t>(inner) * sizeof(float));
           } else {
-            for (int64_t i = 0; i < inner; ++i) orow[i] += row[i];
+            kt.add_inplace(orow, row, inner);
           }
         }
       }
@@ -100,9 +119,10 @@ Tensor Sum(const Tensor& x, int64_t dim, bool keepdim) {
         for (int64_t r = 0; r < reduce; ++r) {
           const float* row = px + (o * reduce + r) * inner;
           if (r == 0) {
-            for (int64_t i = i0; i < i1; ++i) orow[i] = row[i];
+            std::memcpy(orow + i0, row + i0,
+                        static_cast<size_t>(i1 - i0) * sizeof(float));
           } else {
-            for (int64_t i = i0; i < i1; ++i) orow[i] += row[i];
+            kt.add_inplace(orow + i0, row + i0, i1 - i0);
           }
         }
       }

@@ -1,11 +1,15 @@
 // Fused softmax and layer-norm over the last dimension, with analytic
 // backward passes (avoids long autograd chains in the attention hot path).
 //
-// All passes parallelize over independent rows (or, for the layer-norm
-// parameter gradients, independent column chunks) via ParallelFor; every
-// output element keeps the serial kernel's accumulation order, so results
-// are bit-identical for any FOCUS_NUM_THREADS. FLOPs are counted once from
-// the resolved shapes, outside the parallel regions.
+// The row kernels (fused max/exp/normalize softmax sweep, layer-norm
+// mean/var/normalize) live in the SIMD layer (src/tensor/simd) and
+// parallelize over independent rows via ParallelFor; row reductions use
+// the layer's fixed 8-lane split anchored at each row start, so results
+// are bit-identical for any FOCUS_NUM_THREADS and FOCUS_SIMD backend.
+// The layer-norm parameter gradients keep their scalar column-parallel
+// loop (a row-major column reduction defeats contiguous vector loads).
+// FLOPs are counted once from the resolved shapes, outside the parallel
+// regions.
 #include <cmath>
 #include <vector>
 
@@ -15,6 +19,7 @@
 #include "tensor/ops.h"
 #include "tensor/ops_common.h"
 #include "tensor/profile_hooks.h"
+#include "tensor/simd/vec.h"
 
 namespace focus {
 
@@ -34,20 +39,9 @@ Tensor SoftmaxLastDim(const Tensor& x) {
     FOCUS_KERNEL_SCOPE("kernel/softmax");
     const float* px = x.data();
     float* po = out.data();
+    const auto rows_kern = simd::Kernels().softmax_rows;
     ParallelFor(0, rows, RowGrain(n), [&](int64_t r0, int64_t r1) {
-      for (int64_t r = r0; r < r1; ++r) {
-        const float* xi = px + r * n;
-        float* yi = po + r * n;
-        float max_v = xi[0];
-        for (int64_t i = 1; i < n; ++i) max_v = std::max(max_v, xi[i]);
-        float sum = 0.0f;
-        for (int64_t i = 0; i < n; ++i) {
-          yi[i] = std::exp(xi[i] - max_v);
-          sum += yi[i];
-        }
-        const float inv = 1.0f / sum;
-        for (int64_t i = 0; i < n; ++i) yi[i] *= inv;
-      }
+      rows_kern(px + r0 * n, po + r0 * n, r1 - r0, n);
     });
     FlopCounter::Add(5 * x.numel());
   }
@@ -61,15 +55,9 @@ Tensor SoftmaxLastDim(const Tensor& x) {
         const float* pg = g.data();
         const float* py = y_saved.data();
         float* pi = gin.data();
+        const auto bwd_kern = simd::Kernels().softmax_bwd_rows;
         ParallelFor(0, rows, RowGrain(n), [&](int64_t r0, int64_t r1) {
-          for (int64_t r = r0; r < r1; ++r) {
-            const float* gi = pg + r * n;
-            const float* yi = py + r * n;
-            float* xi = pi + r * n;
-            float dot = 0.0f;
-            for (int64_t i = 0; i < n; ++i) dot += gi[i] * yi[i];
-            for (int64_t i = 0; i < n; ++i) xi[i] = yi[i] * (gi[i] - dot);
-          }
+          bwd_kern(py + r0 * n, pg + r0 * n, pi + r0 * n, r1 - r0, n);
         });
         FlopCounter::Add(4 * y_saved.numel());
         return {gin};
@@ -99,26 +87,10 @@ Tensor LayerNormLastDim(const Tensor& x, const Tensor& gamma,
     float* po = out.data();
     float* pmeans = means.data();
     float* prstds = rstds.data();
+    const auto rows_kern = simd::Kernels().layernorm_rows;
     ParallelFor(0, rows, RowGrain(n), [&](int64_t r0, int64_t r1) {
-      for (int64_t r = r0; r < r1; ++r) {
-        const float* xi = px + r * n;
-        float* yi = po + r * n;
-        float mean = 0.0f;
-        for (int64_t i = 0; i < n; ++i) mean += xi[i];
-        mean /= static_cast<float>(n);
-        float var = 0.0f;
-        for (int64_t i = 0; i < n; ++i) {
-          const float d = xi[i] - mean;
-          var += d * d;
-        }
-        var /= static_cast<float>(n);
-        const float rstd = 1.0f / std::sqrt(var + eps);
-        pmeans[r] = mean;
-        prstds[r] = rstd;
-        for (int64_t i = 0; i < n; ++i) {
-          yi[i] = (xi[i] - mean) * rstd * pgm[i] + pbt[i];
-        }
-      }
+      rows_kern(px + r0 * n, pgm, pbt, eps, po + r0 * n, pmeans + r0,
+                prstds + r0, r1 - r0, n);
     });
     FlopCounter::Add(8 * x.numel());
   }
@@ -140,33 +112,13 @@ Tensor LayerNormLastDim(const Tensor& x, const Tensor& gamma,
         float* pgx = gx.data();
         float* pgg = ggamma.data();
         float* pgb = gbeta.data();
-        const float inv_n = 1.0f / static_cast<float>(n);
-        // dX: rows are independent.
+        // dX: rows are independent; the fused SIMD kernel computes
+        // rstd * (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat)) with
+        // dxhat_i = g_i * gamma_i.
+        const auto dx_kern = simd::Kernels().layernorm_bwd_dx_rows;
         ParallelFor(0, rows, RowGrain(n), [&](int64_t r0, int64_t r1) {
-          for (int64_t r = r0; r < r1; ++r) {
-            const float mean = pmeans[r];
-            const float rstd = prstds[r];
-            const float* gi = pg + r * n;
-            const float* xi = px + r * n;
-            float* gxi = pgx + r * n;
-            // dxhat_i = g_i * gamma_i; dx from the standard layer-norm
-            // gradient: rstd * (dxhat - mean(dxhat) - xhat *
-            // mean(dxhat*xhat)).
-            float sum_dxhat = 0.0f, sum_dxhat_xhat = 0.0f;
-            for (int64_t i = 0; i < n; ++i) {
-              const float xhat = (xi[i] - mean) * rstd;
-              const float dxhat = gi[i] * pgm[i];
-              sum_dxhat += dxhat;
-              sum_dxhat_xhat += dxhat * xhat;
-            }
-            sum_dxhat *= inv_n;
-            sum_dxhat_xhat *= inv_n;
-            for (int64_t i = 0; i < n; ++i) {
-              const float xhat = (xi[i] - mean) * rstd;
-              const float dxhat = gi[i] * pgm[i];
-              gxi[i] = rstd * (dxhat - sum_dxhat - xhat * sum_dxhat_xhat);
-            }
-          }
+          dx_kern(px + r0 * n, pg + r0 * n, pgm, pmeans + r0,
+                  prstds + r0, pgx + r0 * n, r1 - r0, n);
         });
         // dgamma/dbeta: columns are independent; the row reduction stays
         // r-ascending inside each column, matching the serial order.

@@ -1,0 +1,99 @@
+// Runtime backend dispatch for the SIMD layer.
+//
+// Resolution order (first use of Kernels(), cached in an atomic):
+//   1. SetBackend() programmatic override (tests / benchmarks),
+//   2. FOCUS_SIMD env var: "scalar"/"off" force the portable backend,
+//      "avx2" forces AVX2 (warning + scalar fallback if unavailable),
+//      "auto"/unset pick by CPUID,
+//   3. CPUID: __builtin_cpu_supports("avx2") && ("fma").
+//
+// A -DFOCUS_SIMD=OFF build omits the AVX2 translation unit entirely
+// (FOCUS_SIMD_AVX2 undefined); every path then resolves to the scalar
+// backend, which produces bit-identical results by construction.
+#include <atomic>
+#include <string>
+
+#include "tensor/simd/vec.h"
+#include "utils/env.h"
+#include "utils/logging.h"
+
+namespace focus {
+namespace simd {
+
+namespace scalar_backend {
+const KernelTable* GetTable();
+}  // namespace scalar_backend
+
+#ifdef FOCUS_SIMD_AVX2
+namespace avx2_backend {
+const KernelTable* GetTable();
+}  // namespace avx2_backend
+#endif
+
+namespace {
+
+std::atomic<const KernelTable*> g_table{nullptr};
+
+const KernelTable* TableFor(Backend backend) {
+#ifdef FOCUS_SIMD_AVX2
+  if (backend == Backend::kAvx2) return avx2_backend::GetTable();
+#endif
+  (void)backend;
+  return scalar_backend::GetTable();
+}
+
+const KernelTable* Resolve() {
+  const std::string v = GetEnvOr("FOCUS_SIMD", "auto");
+  if (v == "scalar" || v == "off" || v == "OFF" || v == "0")
+    return TableFor(Backend::kScalar);
+  if (v == "avx2") {
+    if (Avx2Available()) return TableFor(Backend::kAvx2);
+    FOCUS_LOG(Warning) << "FOCUS_SIMD=avx2 requested but the AVX2 "
+                          "backend is unavailable (build disabled or "
+                          "CPU lacks AVX2+FMA); using scalar";
+    return TableFor(Backend::kScalar);
+  }
+  if (v != "auto") {
+    FOCUS_LOG(Warning) << "FOCUS_SIMD='" << v
+                       << "' is not scalar|avx2|auto|off; using auto";
+  }
+  return TableFor(Avx2Available() ? Backend::kAvx2 : Backend::kScalar);
+}
+
+}  // namespace
+
+bool Avx2Available() {
+#ifdef FOCUS_SIMD_AVX2
+  return __builtin_cpu_supports("avx2") &&
+         __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const KernelTable& Kernels() {
+  const KernelTable* t = g_table.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    // Benign race: concurrent first callers resolve the same table.
+    t = Resolve();
+    g_table.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+Backend ActiveBackend() { return Kernels().backend; }
+
+const char* BackendName() { return Kernels().name; }
+
+bool SetBackend(Backend backend) {
+  if (backend == Backend::kAvx2 && !Avx2Available()) return false;
+  g_table.store(TableFor(backend), std::memory_order_release);
+  return true;
+}
+
+void ReinitFromEnv() {
+  g_table.store(Resolve(), std::memory_order_release);
+}
+
+}  // namespace simd
+}  // namespace focus

@@ -1,0 +1,231 @@
+// Backend-shared pieces of the SIMD layer: polynomial coefficients,
+// the single-lane V1 type used for tail elements, and the generic
+// transcendental algorithms (ExpV/TanhV/SigmoidV/ErfV/GeluV) that both
+// backends instantiate with their own 8-lane vector type.
+//
+// Determinism contract notes (see also vec.h):
+//  * Every V1 operation mirrors the exact semantics of the AVX2
+//    instruction the vector backend uses — Max/Min use the asymmetric
+//    vmaxps/vminps select (`a > b ? a : b`), Round is nearest-even
+//    (vroundps), Fma is std::fma (correctly rounded, identical to
+//    vfmadd), Pow2I is the same exponent-field construction.
+//  * Transcendentals never call libm: both backends evaluate the
+//    polynomials below with the same FMA chain, so vector lanes and
+//    scalar tails agree bitwise. Coefficients are generated and
+//    ULP-validated by scripts/gen_simd_coeffs.py.
+//  * Both backend TUs are compiled with -ffp-contract=off so the
+//    compiler cannot fuse (or decline to fuse) a*b+c differently per
+//    backend; every FMA in this layer is explicit.
+#ifndef FOCUS_TENSOR_SIMD_VEC_COMMON_H_
+#define FOCUS_TENSOR_SIMD_VEC_COMMON_H_
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace focus {
+namespace simd {
+
+// --- polynomial coefficients (scripts/gen_simd_coeffs.py) -------------
+
+// exp(r) ~= 1 + r + r^2 * P(r) on |r| <= ln(2)/2, after Cody-Waite
+// range reduction x = n*ln2 + r. Max observed error 1.0 ulp on
+// [-88, 88] (float32-emulated sweep).
+inline constexpr float kExpPoly[] = {
+    0.5f,            0.166666672f,    0.0416664667f,
+    0.00833337288f,  0.00139335904f,  0.000198495371f};
+
+// tanh(x) ~= x + x*z*P(z), z = x^2, on |x| < 0.625. 1.0 ulp.
+inline constexpr float kTanhPoly[] = {
+    -0.333333284f,   0.133327574f,    -0.0538493544f,
+    0.0209908877f,   -0.00608873274f};
+
+// erf(x) ~= x * P(z), z = x^2, on |x| < 0.84375. (2.0 ulp overall.)
+inline constexpr float kErfSmallPoly[] = {
+    1.12837923f,     -0.376126379f,   0.112837903f,
+    -0.0268660132f,  0.00522311497f,  -0.000852230121f,
+    0.000116145995f, -1.09210641e-05f};
+
+// erfc(a)*exp(a^2) ~= W(t), t = 1/a, for a in [0.84375, 4.2]; beyond
+// 4.2, erf rounds to +-1 in float32.
+inline constexpr float kErfTailPoly[] = {
+    0.000335514691f, 0.557907104f,    0.0502508581f,
+    -0.504254222f,   0.574081242f,    -0.353932023f,
+    0.121672302f,    -0.0186834447f,  0.000206211407f};
+
+// exp() range-reduction constants. kLn2Hi/kLn2Lo split ln(2) so that
+// n*kLn2Hi is exact for |n| <= 2^15 (Cody-Waite). The clamps sit just
+// past the representable range (ln(FLT_MAX) = 88.72, and exp underflows
+// to 0 below -103.97): arguments beyond them saturate to +inf / +0 like
+// libm, while everything in between still resolves through the two-step
+// 2^a * 2^b scaling.
+inline constexpr float kExpHi = 89.0f;
+inline constexpr float kExpLo = -103.972084045410f;
+inline constexpr float kLog2e = 1.44269504088896341f;
+inline constexpr float kLn2Hi = 0.693359375f;
+inline constexpr float kLn2Lo = -2.12194440e-4f;
+
+// Branch points between the polynomial and exp-based evaluations.
+inline constexpr float kTanhBranch = 0.625f;
+inline constexpr float kErfBranch = 0.84375f;
+
+// GELU (tanh approximation) constants, shared with the pre-SIMD op.
+inline constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+inline constexpr float kGeluA = 0.044715f;
+// d/dx erf(x) = kErfGradC * exp(-x^2).
+inline constexpr float kErfGradC = 1.1283791670955126f;  // 2/sqrt(pi)
+
+// Broadcast, specialized by each backend for its vector type.
+template <class V>
+V Set1(float s);
+
+// --- V1: the single-lane "vector" used for tail elements --------------
+
+struct V1 {
+  float v;
+};
+struct M1 {
+  bool m;
+};
+
+template <>
+inline V1 Set1<V1>(float s) {
+  return {s};
+}
+
+inline V1 Add(V1 a, V1 b) { return {a.v + b.v}; }
+inline V1 Sub(V1 a, V1 b) { return {a.v - b.v}; }
+inline V1 Mul(V1 a, V1 b) { return {a.v * b.v}; }
+inline V1 Div(V1 a, V1 b) { return {a.v / b.v}; }
+inline V1 Fma(V1 a, V1 b, V1 c) { return {std::fma(a.v, b.v, c.v)}; }
+inline V1 Neg(V1 a) { return {-a.v}; }
+inline V1 Abs(V1 a) { return {std::fabs(a.v)}; }
+// vmaxps/vminps semantics: the *second* operand wins ties and NaNs.
+inline V1 Max(V1 a, V1 b) { return {a.v > b.v ? a.v : b.v}; }
+inline V1 Min(V1 a, V1 b) { return {a.v < b.v ? a.v : b.v}; }
+inline V1 Sqrt(V1 a) { return {std::sqrt(a.v)}; }
+// Nearest-even, like vroundps(_MM_FROUND_TO_NEAREST_INT). Assumes the
+// default IEEE rounding mode (the process never changes it).
+inline V1 Round(V1 a) { return {std::nearbyintf(a.v)}; }
+// 2^a for integral-valued a with a+127 in [1, 254]: build the exponent
+// field directly (same as cvtps_epi32 + add + slli in the AVX2
+// backend).
+inline V1 Pow2I(V1 a) {
+  const auto e = static_cast<std::uint32_t>(
+      static_cast<std::int32_t>(a.v) + 127);
+  return {std::bit_cast<float>(e << 23)};
+}
+inline V1 CopySign(V1 mag, V1 sgn) {
+  return {std::copysign(mag.v, sgn.v)};
+}
+inline M1 CmpLt(V1 a, V1 b) { return {a.v < b.v}; }
+inline M1 CmpGt(V1 a, V1 b) { return {a.v > b.v}; }
+inline M1 CmpGe(V1 a, V1 b) { return {a.v >= b.v}; }
+inline V1 Select(M1 m, V1 a, V1 b) { return m.m ? a : b; }
+
+// --- shared algorithms ------------------------------------------------
+
+// Horner evaluation with an explicit FMA chain, highest degree first.
+template <class V, int N>
+inline V PolyHorner(const float (&c)[N], V z) {
+  V acc = Set1<V>(c[N - 1]);
+  for (int i = N - 2; i >= 0; --i) acc = Fma(acc, z, Set1<V>(c[i]));
+  return acc;
+}
+
+// exp(x). Clamps to the finite float range, Cody-Waite reduces
+// x = n*ln2 + r, evaluates exp(r) = 1 + r + r^2*P(r), and scales by
+// 2^n in two steps (2^a * 2^b) so subnormal results (x < -87.3) stay
+// exact instead of overflowing the single exponent field.
+template <class V>
+inline V ExpV(V x) {
+  x = Max(Min(x, Set1<V>(kExpHi)), Set1<V>(kExpLo));
+  const V n = Round(Mul(x, Set1<V>(kLog2e)));
+  V r = Fma(Neg(n), Set1<V>(kLn2Hi), x);
+  r = Fma(Neg(n), Set1<V>(kLn2Lo), r);
+  const V q = PolyHorner(kExpPoly, r);
+  const V one = Set1<V>(1.0f);
+  const V p = Add(Fma(q, Mul(r, r), r), one);
+  const V a = Max(Min(n, Set1<V>(127.0f)), Set1<V>(-126.0f));
+  const V b = Sub(n, a);
+  return Mul(Mul(p, Pow2I(a)), Pow2I(b));
+}
+
+// tanh(x): odd polynomial in z = x^2 below the branch point,
+// 1 - 2/(exp(2|x|)+1) with the sign restored above it.
+template <class V>
+inline V TanhV(V x) {
+  const V a = Abs(x);
+  const V one = Set1<V>(1.0f);
+  const V e = ExpV(Add(a, a));
+  V big = Sub(one, Div(Set1<V>(2.0f), Add(e, one)));
+  big = CopySign(big, x);
+  const V z = Mul(x, x);
+  const V p = PolyHorner(kTanhPoly, z);
+  const V small = Fma(Mul(p, z), x, x);
+  return Select(CmpGe(a, Set1<V>(kTanhBranch)), big, small);
+}
+
+template <class V>
+inline V SigmoidV(V x) {
+  const V one = Set1<V>(1.0f);
+  return Div(one, Add(one, ExpV(Neg(x))));
+}
+
+// erf(x): odd polynomial below the branch point; above it,
+// erf(|x|) = 1 - erfc(|x|) with erfc(a) = W(1/a) * exp(-a^2), where
+// the squaring error of a^2 is compensated (l = fma(a,a,-h)) so the
+// exp argument keeps full precision.
+template <class V>
+inline V ErfV(V x) {
+  const V a = Abs(x);
+  const V one = Set1<V>(1.0f);
+  const V z = Mul(x, x);
+  const V small = Mul(x, PolyHorner(kErfSmallPoly, z));
+  const V t = Div(one, a);
+  const V w = PolyHorner(kErfTailPoly, t);
+  const V l = Fma(a, a, Neg(z));
+  const V e = Mul(ExpV(Neg(z)), Sub(one, l));
+  V big = Sub(one, Mul(e, w));
+  big = CopySign(big, x);
+  return Select(CmpLt(a, Set1<V>(kErfBranch)), small, big);
+}
+
+// GELU, tanh approximation (matches the pre-SIMD scalar op):
+// 0.5 * x * (1 + tanh(c * (x + a*x^3))).
+template <class V>
+inline V GeluV(V x) {
+  const V one = Set1<V>(1.0f);
+  const V x3 = Mul(Mul(x, x), x);
+  const V u = Mul(Set1<V>(kGeluC), Fma(Set1<V>(kGeluA), x3, x));
+  const V th = TanhV(u);
+  return Mul(Mul(Set1<V>(0.5f), x), Add(one, th));
+}
+
+// d/dx GELU: 0.5*(1+t) + 0.5*x*(1-t^2)*du, t = tanh(u).
+template <class V>
+inline V GeluBwdV(V x) {
+  const V one = Set1<V>(1.0f);
+  const V half = Set1<V>(0.5f);
+  const V x2 = Mul(x, x);
+  const V x3 = Mul(x2, x);
+  const V u = Mul(Set1<V>(kGeluC), Fma(Set1<V>(kGeluA), x3, x));
+  const V t = TanhV(u);
+  const V du = Mul(Set1<V>(kGeluC),
+                   Fma(Set1<V>(3.0f * kGeluA), x2, one));
+  const V sech2 = Sub(one, Mul(t, t));
+  return Fma(Mul(Mul(half, x), sech2), du, Mul(half, Add(one, t)));
+}
+
+// Scalar-path wrappers used by kernel tails and tests.
+inline float ExpS(float x) { return ExpV(V1{x}).v; }
+inline float TanhS(float x) { return TanhV(V1{x}).v; }
+inline float SigmoidS(float x) { return SigmoidV(V1{x}).v; }
+inline float ErfS(float x) { return ErfV(V1{x}).v; }
+inline float GeluS(float x) { return GeluV(V1{x}).v; }
+inline float GeluBwdS(float x) { return GeluBwdV(V1{x}).v; }
+
+}  // namespace simd
+}  // namespace focus
+
+#endif  // FOCUS_TENSOR_SIMD_VEC_COMMON_H_

@@ -1,8 +1,11 @@
 // Golden parity tests for the parallel kernel layer: every parallelized
-// kernel must produce BIT-IDENTICAL outputs (forward and backward) whether
-// the pool runs with 1 thread or 4. This is the enforcement of the
-// determinism guarantee documented in README "Performance" — the work split
-// never changes any per-element floating-point accumulation order.
+// kernel must produce BIT-IDENTICAL outputs (forward and backward) for
+// every pool size (1, 4, and 8 threads — more workers than this container
+// has cores). This is the enforcement of the determinism guarantee
+// documented in README "Performance" — the work split never changes any
+// per-element floating-point accumulation order. The final test extends
+// the same contract to the SIMD dispatch axis: a training run must not
+// care which vector backend executed it.
 #include <cstring>
 #include <functional>
 #include <vector>
@@ -14,30 +17,33 @@
 #include "parallel/thread_pool.h"
 #include "tensor/allocator.h"
 #include "tensor/ops.h"
+#include "tensor/simd/vec.h"
 #include "tensor/tensor.h"
 
 namespace focus {
 namespace {
 
-// Runs `fn` with a 1-thread pool and again with a 4-thread pool and asserts
-// all returned tensors match byte-for-byte.
+// Runs `fn` under 1-, 4-, and 8-thread pools and asserts all returned
+// tensors match byte-for-byte across every pool size.
 void ExpectBitIdenticalAcrossThreadCounts(
     const std::function<std::vector<Tensor>()>& fn) {
   ThreadPool::Global().Resize(1);
   const std::vector<Tensor> serial = fn();
-  ThreadPool::Global().Resize(4);
-  const std::vector<Tensor> pooled = fn();
-  ThreadPool::Global().Resize(1);
-  ASSERT_EQ(serial.size(), pooled.size());
-  for (size_t t = 0; t < serial.size(); ++t) {
-    ASSERT_TRUE(serial[t].defined());
-    ASSERT_TRUE(pooled[t].defined());
-    ASSERT_EQ(serial[t].shape(), pooled[t].shape()) << "tensor " << t;
-    const int64_t n = serial[t].numel();
-    ASSERT_EQ(0, std::memcmp(serial[t].data(), pooled[t].data(),
-                             static_cast<size_t>(n) * sizeof(float)))
-        << "tensor " << t << " differs between thread counts";
+  for (int threads : {4, 8}) {
+    ThreadPool::Global().Resize(threads);
+    const std::vector<Tensor> pooled = fn();
+    ASSERT_EQ(serial.size(), pooled.size());
+    for (size_t t = 0; t < serial.size(); ++t) {
+      ASSERT_TRUE(serial[t].defined());
+      ASSERT_TRUE(pooled[t].defined());
+      ASSERT_EQ(serial[t].shape(), pooled[t].shape()) << "tensor " << t;
+      const int64_t n = serial[t].numel();
+      ASSERT_EQ(0, std::memcmp(serial[t].data(), pooled[t].data(),
+                               static_cast<size_t>(n) * sizeof(float)))
+          << "tensor " << t << " differs at " << threads << " threads";
+    }
   }
+  ThreadPool::Global().Resize(1);
 }
 
 // Builds loss = SumAll(out), backprops, and returns {out, grads...}.
@@ -273,6 +279,58 @@ TEST(ParityTest, TrainStepCacheOnVsBypassBitIdentical) {
                              static_cast<size_t>(cached[t].numel()) *
                                  sizeof(float)))
         << "tensor " << t << " differs between cache-on and bypass";
+  }
+}
+
+// The SIMD axis of the same contract: a 5-step AdamW training run must
+// produce bit-identical parameters and losses on the AVX2 and scalar
+// backends. This is what lets FOCUS_SIMD=OFF builds, the ASan scalar leg,
+// and non-AVX2 machines reproduce recorded results exactly.
+TEST(ParityTest, TrainStepSimdBackendBitIdentical) {
+  if (!simd::Avx2Available()) {
+    GTEST_SKIP() << "AVX2 backend not compiled in or not supported";
+  }
+  auto run_training = [](simd::Backend backend) {
+    EXPECT_TRUE(simd::SetBackend(backend));
+
+    Rng rng(21);
+    Tensor x = Tensor::Randn({24, 17}, rng);
+    Tensor y = Tensor::Randn({24, 5}, rng);
+    Tensor w1 = Tensor::Randn({17, 8}, rng);
+    Tensor b1 = Tensor::Zeros({8});
+    Tensor w2 = Tensor::Randn({8, 5}, rng);
+    Tensor b2 = Tensor::Zeros({5});
+    std::vector<Tensor> params = {w1, b1, w2, b2};
+    for (Tensor& p : params) p.SetRequiresGrad(true);
+    optim::AdamW opt(params, /*lr=*/1e-2f);
+
+    Tensor loss;
+    for (int step = 0; step < 5; ++step) {
+      opt.ZeroGrad();
+      Tensor h = Gelu(Add(MatMul(x, w1), b1));
+      Tensor d = Sub(Add(MatMul(h, w2), b2), y);
+      loss = MeanAll(Mul(d, d));
+      loss.Backward();
+      opt.Step();
+    }
+
+    std::vector<Tensor> result = params;
+    result.push_back(loss);
+    return result;
+  };
+
+  std::vector<Tensor> avx2;
+  std::vector<Tensor> scalar;
+  run_training(simd::Backend::kAvx2).swap(avx2);
+  run_training(simd::Backend::kScalar).swap(scalar);
+  simd::ReinitFromEnv();
+  ASSERT_EQ(avx2.size(), scalar.size());
+  for (size_t t = 0; t < avx2.size(); ++t) {
+    ASSERT_EQ(avx2[t].shape(), scalar[t].shape()) << "tensor " << t;
+    ASSERT_EQ(0, std::memcmp(avx2[t].data(), scalar[t].data(),
+                             static_cast<size_t>(avx2[t].numel()) *
+                                 sizeof(float)))
+        << "tensor " << t << " differs between avx2 and scalar backends";
   }
 }
 

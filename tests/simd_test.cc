@@ -1,0 +1,434 @@
+// SIMD layer contract tests.
+//
+// Three contracts, in order of importance:
+//   1. Bit-identity: for every kernel in simd::KernelTable the AVX2 and
+//      scalar backends produce byte-identical outputs, including the odd
+//      tails (n = 1..17 crosses every lane-remainder case twice) and a
+//      large buffer. This is what makes FOCUS_SIMD a pure acceleration
+//      knob rather than a numerics knob.
+//   2. Accuracy: the shared polynomial transcendentals stay within 4 ULP
+//      of double-precision libm rounded to float across their full
+//      argument ranges (exp over [-88, 88], tanh/erf over [-10, 10]).
+//   3. Dispatch: FOCUS_SIMD=scalar|avx2|auto resolves to the documented
+//      backend on this machine.
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/simd/vec.h"
+#include "tensor/tensor.h"
+
+namespace focus {
+namespace {
+
+// Deterministic pseudo-random floats in (lo, hi); plain LCG so the test
+// inputs are reproducible without the tensor Rng.
+std::vector<float> TestVec(int64_t n, uint32_t seed, float lo = -3.0f,
+                           float hi = 3.0f) {
+  std::vector<float> v(static_cast<size_t>(n));
+  uint32_t s = seed * 2654435761u + 12345u;
+  for (float& x : v) {
+    s = s * 1664525u + 1013904223u;
+    const float u = static_cast<float>(s >> 8) / 16777216.0f;  // [0, 1)
+    x = lo + (hi - lo) * u;
+  }
+  return v;
+}
+
+// n = 1..17 crosses the 8-lane boundary twice (every tail remainder, the
+// exact-multiple cases, and one odd block past them); 1037 exercises the
+// long-stride main loop.
+const int64_t kSizes[] = {1,  2,  3,  4,  5,  6,  7,  8,  9,
+                          10, 11, 12, 13, 14, 15, 16, 17, 1037};
+
+// Runs `run` once per backend and asserts the `out_n`-float outputs are
+// byte-identical. Callers must SetUp via SimdBitIdentityTest (skips when
+// the AVX2 backend is unavailable).
+void ExpectBackendsMatch(
+    const std::function<void(const simd::KernelTable&, float*)>& run,
+    int64_t out_n, const std::string& what) {
+  std::vector<float> scalar_out(static_cast<size_t>(out_n), -777.0f);
+  std::vector<float> avx2_out(static_cast<size_t>(out_n), -777.0f);
+  ASSERT_TRUE(simd::SetBackend(simd::Backend::kScalar));
+  run(simd::Kernels(), scalar_out.data());
+  ASSERT_TRUE(simd::SetBackend(simd::Backend::kAvx2));
+  run(simd::Kernels(), avx2_out.data());
+  ASSERT_EQ(0, std::memcmp(scalar_out.data(), avx2_out.data(),
+                           static_cast<size_t>(out_n) * sizeof(float)))
+      << what << ": scalar and avx2 outputs differ";
+}
+
+class SimdBitIdentityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!simd::Avx2Available()) {
+      GTEST_SKIP() << "AVX2 backend not compiled in or not supported";
+    }
+  }
+  void TearDown() override { simd::ReinitFromEnv(); }
+};
+
+TEST_F(SimdBitIdentityTest, BinaryKernels) {
+  using BinK = void (*)(const float*, const float*, float*, int64_t);
+  struct Entry {
+    const char* name;
+    BinK simd::KernelTable::* kern;
+  };
+  const Entry kEntries[] = {
+      {"add", &simd::KernelTable::add},
+      {"sub", &simd::KernelTable::sub},
+      {"mul", &simd::KernelTable::mul},
+      {"div", &simd::KernelTable::div},
+  };
+  for (const Entry& e : kEntries) {
+    for (int64_t n : kSizes) {
+      const auto a = TestVec(n, 1);
+      // Denominators bounded away from 0 so div stays finite.
+      const auto b = TestVec(n, 2, 0.5f, 4.0f);
+      ExpectBackendsMatch(
+          [&](const simd::KernelTable& kt, float* o) {
+            (kt.*e.kern)(a.data(), b.data(), o, n);
+          },
+          n, std::string(e.name) + " n=" + std::to_string(n));
+    }
+  }
+}
+
+TEST_F(SimdBitIdentityTest, AccumulatingAndScalarKernels) {
+  for (int64_t n : kSizes) {
+    const auto x = TestVec(n, 3);
+    const auto y0 = TestVec(n, 4);
+    const std::string sz = " n=" + std::to_string(n);
+    ExpectBackendsMatch(
+        [&](const simd::KernelTable& kt, float* o) {
+          std::memcpy(o, y0.data(), static_cast<size_t>(n) * sizeof(float));
+          kt.add_inplace(o, x.data(), n);
+        },
+        n, "add_inplace" + sz);
+    ExpectBackendsMatch(
+        [&](const simd::KernelTable& kt, float* o) {
+          std::memcpy(o, y0.data(), static_cast<size_t>(n) * sizeof(float));
+          kt.axpy(1.7f, x.data(), o, n);
+        },
+        n, "axpy" + sz);
+    ExpectBackendsMatch(
+        [&](const simd::KernelTable& kt, float* o) {
+          kt.add_scalar(x.data(), 0.37f, o, n);
+        },
+        n, "add_scalar" + sz);
+    ExpectBackendsMatch(
+        [&](const simd::KernelTable& kt, float* o) {
+          kt.mul_scalar(x.data(), -2.13f, o, n);
+        },
+        n, "mul_scalar" + sz);
+    ExpectBackendsMatch(
+        [&](const simd::KernelTable& kt, float* o) {
+          o[0] = kt.dot(x.data(), y0.data(), n);
+        },
+        1, "dot" + sz);
+    ExpectBackendsMatch(
+        [&](const simd::KernelTable& kt, float* o) {
+          o[0] = kt.row_sum(x.data(), n);
+        },
+        1, "row_sum" + sz);
+  }
+}
+
+TEST_F(SimdBitIdentityTest, UnaryForwardKernels) {
+  using UnK = void (*)(const float*, float*, int64_t);
+  struct Entry {
+    const char* name;
+    UnK simd::KernelTable::* kern;
+    float lo, hi;  // input range (sqrt needs non-negative inputs)
+  };
+  const Entry kEntries[] = {
+      {"exp", &simd::KernelTable::exp_fwd, -20.0f, 20.0f},
+      {"tanh", &simd::KernelTable::tanh_fwd, -6.0f, 6.0f},
+      {"sigmoid", &simd::KernelTable::sigmoid_fwd, -20.0f, 20.0f},
+      {"erf", &simd::KernelTable::erf_fwd, -6.0f, 6.0f},
+      {"gelu", &simd::KernelTable::gelu_fwd, -6.0f, 6.0f},
+      {"relu", &simd::KernelTable::relu_fwd, -3.0f, 3.0f},
+      {"sqrt", &simd::KernelTable::sqrt_fwd, 0.0f, 9.0f},
+  };
+  for (const Entry& e : kEntries) {
+    for (int64_t n : kSizes) {
+      const auto x = TestVec(n, 5, e.lo, e.hi);
+      ExpectBackendsMatch(
+          [&](const simd::KernelTable& kt, float* o) {
+            (kt.*e.kern)(x.data(), o, n);
+          },
+          n, std::string(e.name) + "_fwd n=" + std::to_string(n));
+    }
+  }
+}
+
+TEST_F(SimdBitIdentityTest, UnaryBackwardKernels) {
+  using BinK = void (*)(const float*, const float*, float*, int64_t);
+  struct Entry {
+    const char* name;
+    BinK simd::KernelTable::* kern;
+    float lo, hi;  // saved-tensor range (sqrt_bwd divides by saved y)
+  };
+  const Entry kEntries[] = {
+      {"tanh", &simd::KernelTable::tanh_bwd, -0.99f, 0.99f},
+      {"sigmoid", &simd::KernelTable::sigmoid_bwd, 0.01f, 0.99f},
+      {"erf", &simd::KernelTable::erf_bwd, -6.0f, 6.0f},
+      {"gelu", &simd::KernelTable::gelu_bwd, -6.0f, 6.0f},
+      {"relu", &simd::KernelTable::relu_bwd, -3.0f, 3.0f},
+      {"sqrt", &simd::KernelTable::sqrt_bwd, 0.5f, 3.0f},
+  };
+  for (const Entry& e : kEntries) {
+    for (int64_t n : kSizes) {
+      const auto saved = TestVec(n, 6, e.lo, e.hi);
+      const auto g = TestVec(n, 7);
+      ExpectBackendsMatch(
+          [&](const simd::KernelTable& kt, float* o) {
+            (kt.*e.kern)(saved.data(), g.data(), o, n);
+          },
+          n, std::string(e.name) + "_bwd n=" + std::to_string(n));
+    }
+  }
+}
+
+TEST_F(SimdBitIdentityTest, MatMulRowBlock) {
+  struct Dims {
+    int64_t m, k, n;
+  };
+  // Covers the full 4x8 tile, the 1x8 row remainder, the scalar column
+  // remainder, and degenerate edges.
+  const Dims kDims[] = {{4, 16, 8}, {5, 13, 11}, {3, 7, 17},
+                        {1, 1, 1},  {6, 9, 3},   {9, 33, 24}};
+  for (const Dims& d : kDims) {
+    const auto a = TestVec(d.m * d.k, 8);
+    const auto b = TestVec(d.k * d.n, 9);
+    ExpectBackendsMatch(
+        [&](const simd::KernelTable& kt, float* o) {
+          kt.matmul_row_block(a.data(), b.data(), o, 0, d.m, d.k, d.n);
+        },
+        d.m * d.n,
+        "matmul_row_block m=" + std::to_string(d.m) +
+            " k=" + std::to_string(d.k) + " n=" + std::to_string(d.n));
+  }
+}
+
+TEST_F(SimdBitIdentityTest, RowKernels) {
+  const int64_t rows = 3;
+  for (int64_t n : kSizes) {
+    const auto x = TestVec(rows * n, 10);
+    const auto g = TestVec(rows * n, 11);
+    const auto gamma = TestVec(n, 12, 0.5f, 1.5f);
+    const auto beta = TestVec(n, 13);
+    const std::string sz = " n=" + std::to_string(n);
+    ExpectBackendsMatch(
+        [&](const simd::KernelTable& kt, float* o) {
+          kt.softmax_rows(x.data(), o, rows, n);
+        },
+        rows * n, "softmax_rows" + sz);
+    ExpectBackendsMatch(
+        [&](const simd::KernelTable& kt, float* o) {
+          // y rows must be a valid softmax output; reuse the kernel.
+          std::vector<float> y(static_cast<size_t>(rows * n));
+          kt.softmax_rows(x.data(), y.data(), rows, n);
+          kt.softmax_bwd_rows(y.data(), g.data(), o, rows, n);
+        },
+        rows * n, "softmax_bwd_rows" + sz);
+    // Layer-norm outputs y plus the saved means/rstds, all compared.
+    ExpectBackendsMatch(
+        [&](const simd::KernelTable& kt, float* o) {
+          kt.layernorm_rows(x.data(), gamma.data(), beta.data(), 1e-5f, o,
+                            o + rows * n, o + rows * n + rows, rows, n);
+        },
+        rows * n + 2 * rows, "layernorm_rows" + sz);
+    ExpectBackendsMatch(
+        [&](const simd::KernelTable& kt, float* o) {
+          std::vector<float> y(static_cast<size_t>(rows * n));
+          std::vector<float> means(static_cast<size_t>(rows));
+          std::vector<float> rstds(static_cast<size_t>(rows));
+          kt.layernorm_rows(x.data(), gamma.data(), beta.data(), 1e-5f,
+                            y.data(), means.data(), rstds.data(), rows, n);
+          kt.layernorm_bwd_dx_rows(x.data(), g.data(), gamma.data(),
+                                   means.data(), rstds.data(), o, rows, n);
+        },
+        rows * n, "layernorm_bwd_dx_rows" + sz);
+  }
+}
+
+// End-to-end: the public ops (which route through ParallelFor and the
+// dispatch table) must also be backend-invariant, forward and backward.
+TEST_F(SimdBitIdentityTest, PublicOpsForwardBackward) {
+  auto run = [](simd::Backend backend) {
+    EXPECT_TRUE(simd::SetBackend(backend));
+    Rng rng(31);
+    Tensor a = Tensor::Randn({7, 129}, rng);
+    Tensor b = Tensor::Randn({7, 129}, rng);
+    Tensor w = Tensor::Randn({129, 33}, rng);
+    Tensor gamma = Tensor::Randn({33}, rng);
+    Tensor beta = Tensor::Randn({33}, rng);
+    for (Tensor* t : {&a, &b, &w, &gamma, &beta}) {
+      t->SetRequiresGrad(true);
+    }
+    Tensor h = MatMul(Gelu(Add(Mul(a, b), Erf(b))), w);
+    Tensor out = SoftmaxLastDim(LayerNormLastDim(h, gamma, beta, 1e-5f));
+    SumAll(out).Backward();
+    std::vector<Tensor> r = {out};
+    for (Tensor* t : {&a, &b, &w, &gamma, &beta}) r.push_back(t->Grad());
+    return r;
+  };
+  std::vector<Tensor> avx2 = run(simd::Backend::kAvx2);
+  std::vector<Tensor> scalar = run(simd::Backend::kScalar);
+  ASSERT_EQ(avx2.size(), scalar.size());
+  for (size_t t = 0; t < avx2.size(); ++t) {
+    ASSERT_TRUE(avx2[t].defined());
+    ASSERT_EQ(avx2[t].shape(), scalar[t].shape()) << "tensor " << t;
+    EXPECT_EQ(0, std::memcmp(avx2[t].data(), scalar[t].data(),
+                             static_cast<size_t>(avx2[t].numel()) *
+                                 sizeof(float)))
+        << "tensor " << t << " differs between backends";
+  }
+}
+
+// --- accuracy ---------------------------------------------------------------
+
+// Maps float bits to a monotonic integer line so ULP distance is a
+// subtraction; +0 and -0 coincide.
+int64_t OrderedBits(float f) {
+  uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return (u & 0x80000000u) ? -static_cast<int64_t>(u & 0x7fffffffu)
+                           : static_cast<int64_t>(u);
+}
+
+int64_t UlpDiff(float a, float b) {
+  const int64_t d = OrderedBits(a) - OrderedBits(b);
+  return d < 0 ? -d : d;
+}
+
+void ExpectUlpBound(void (*kern)(const float*, float*, int64_t),
+                    double (*ref)(double), float lo, float hi,
+                    int64_t points, int64_t bound, const char* name) {
+  std::vector<float> x(static_cast<size_t>(points));
+  std::vector<float> y(static_cast<size_t>(points));
+  for (int64_t i = 0; i < points; ++i) {
+    x[static_cast<size_t>(i)] =
+        lo + (hi - lo) * static_cast<float>(i) /
+                 static_cast<float>(points - 1);
+  }
+  kern(x.data(), y.data(), points);
+  int64_t worst = 0;
+  float worst_x = 0.0f;
+  for (int64_t i = 0; i < points; ++i) {
+    const float xi = x[static_cast<size_t>(i)];
+    const float want =
+        static_cast<float>(ref(static_cast<double>(xi)));
+    const int64_t d = UlpDiff(y[static_cast<size_t>(i)], want);
+    if (d > worst) {
+      worst = d;
+      worst_x = xi;
+    }
+  }
+  EXPECT_LE(worst, bound) << name << ": worst " << worst << " ULP at x="
+                          << worst_x;
+}
+
+TEST(SimdAccuracyTest, ExpWithin4UlpOfLibm) {
+  ExpectUlpBound(simd::Kernels().exp_fwd, std::exp, -88.0f, 88.0f,
+                 200001, 4, "exp");
+}
+
+TEST(SimdAccuracyTest, TanhWithin4UlpOfLibm) {
+  ExpectUlpBound(simd::Kernels().tanh_fwd, std::tanh, -10.0f, 10.0f,
+                 200001, 4, "tanh");
+}
+
+TEST(SimdAccuracyTest, ErfWithin4UlpOfLibm) {
+  ExpectUlpBound(simd::Kernels().erf_fwd, std::erf, -10.0f, 10.0f,
+                 200001, 4, "erf");
+}
+
+// Saturation and special values: exp underflows to +0 and overflows to
+// +inf exactly; tanh/erf saturate to ±1 well inside float range.
+TEST(SimdAccuracyTest, ExtremeArguments) {
+  const simd::KernelTable& kt = simd::Kernels();
+  const float x[] = {-1000.0f, -104.0f, 89.0f, 1000.0f, 0.0f, -0.0f};
+  float y[6];
+  kt.exp_fwd(x, y, 6);
+  EXPECT_EQ(0.0f, y[0]);
+  EXPECT_EQ(0.0f, y[1]);
+  EXPECT_TRUE(std::isinf(y[2]));
+  EXPECT_TRUE(std::isinf(y[3]));
+  EXPECT_EQ(1.0f, y[4]);
+  EXPECT_EQ(1.0f, y[5]);
+  kt.tanh_fwd(x, y, 6);
+  EXPECT_EQ(-1.0f, y[0]);
+  EXPECT_EQ(1.0f, y[2]);
+  EXPECT_EQ(0.0f, y[4]);
+  kt.erf_fwd(x, y, 6);
+  EXPECT_EQ(-1.0f, y[0]);
+  EXPECT_EQ(1.0f, y[2]);
+  EXPECT_EQ(0.0f, y[4]);
+}
+
+// --- dispatch ---------------------------------------------------------------
+
+TEST(SimdDispatchTest, EnvSelectsBackend) {
+  const char* saved = std::getenv("FOCUS_SIMD");
+  const std::string restore = saved != nullptr ? saved : "";
+
+  setenv("FOCUS_SIMD", "scalar", 1);
+  simd::ReinitFromEnv();
+  EXPECT_EQ(simd::Backend::kScalar, simd::ActiveBackend());
+  EXPECT_STREQ("scalar", simd::BackendName());
+
+  setenv("FOCUS_SIMD", "avx2", 1);
+  simd::ReinitFromEnv();
+  if (simd::Avx2Available()) {
+    EXPECT_EQ(simd::Backend::kAvx2, simd::ActiveBackend());
+    EXPECT_STREQ("avx2", simd::BackendName());
+  } else {
+    // Unavailable: warn and fall back to scalar rather than crash.
+    EXPECT_EQ(simd::Backend::kScalar, simd::ActiveBackend());
+  }
+
+  setenv("FOCUS_SIMD", "auto", 1);
+  simd::ReinitFromEnv();
+  EXPECT_EQ(simd::Avx2Available() ? simd::Backend::kAvx2
+                                  : simd::Backend::kScalar,
+            simd::ActiveBackend());
+
+  // Garbage value: documented to warn and fall back to auto.
+  setenv("FOCUS_SIMD", "sse9", 1);
+  simd::ReinitFromEnv();
+  EXPECT_EQ(simd::Avx2Available() ? simd::Backend::kAvx2
+                                  : simd::Backend::kScalar,
+            simd::ActiveBackend());
+
+  if (saved != nullptr) {
+    setenv("FOCUS_SIMD", restore.c_str(), 1);
+  } else {
+    unsetenv("FOCUS_SIMD");
+  }
+  simd::ReinitFromEnv();
+}
+
+TEST(SimdDispatchTest, SetBackendOverridesAndReinitClears) {
+  ASSERT_TRUE(simd::SetBackend(simd::Backend::kScalar));
+  EXPECT_EQ(simd::Backend::kScalar, simd::ActiveBackend());
+  if (!simd::Avx2Available()) {
+    EXPECT_FALSE(simd::SetBackend(simd::Backend::kAvx2));
+    EXPECT_EQ(simd::Backend::kScalar, simd::ActiveBackend());
+  } else {
+    EXPECT_TRUE(simd::SetBackend(simd::Backend::kAvx2));
+    EXPECT_EQ(simd::Backend::kAvx2, simd::ActiveBackend());
+  }
+  simd::ReinitFromEnv();
+}
+
+}  // namespace
+}  // namespace focus
