@@ -7,8 +7,17 @@
 //
 // The __has_include guard lets this exact file build against a pre-SIMD
 // checkout too — that is how the PR-over-PR baseline numbers are taken.
+//
+// Output: besides google-benchmark's console/JSON output, the binary can
+// emit the unified bench-result schema (obs/bench_report.h) that
+// scripts/bench_diff.py consumes: pass --focus-bench-json=<path> (or set
+// FOCUS_BENCH_JSON). --smoke restricts the run to one fast shape per hot
+// kernel family with a short min-time — the perf leg of scripts/check.sh
+// uses it to gate regressions against results/BENCH_smoke_baseline.json.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "cluster/segment_clustering.h"
@@ -22,6 +31,12 @@
 #if __has_include("tensor/simd/vec.h")
 #include "tensor/simd/vec.h"
 #define FOCUS_BENCH_HAVE_SIMD 1
+#endif
+
+#if __has_include("obs/bench_report.h")
+#include "obs/bench_report.h"
+#include "utils/env.h"
+#define FOCUS_BENCH_HAVE_REPORT 1
 #endif
 
 namespace focus {
@@ -287,7 +302,109 @@ void BM_TrainStepLoop(benchmark::State& state) {
 BENCHMARK(BM_TrainStepLoop)->Arg(0)->Arg(512)
     ->Unit(benchmark::kMillisecond);
 
+#ifdef FOCUS_BENCH_HAVE_REPORT
+// Console reporter that additionally captures every finished run as a
+// schema entry (obs/bench_report.h). ns_per_op comes from the raw
+// accumulated real time so entries are comparable regardless of each
+// benchmark's display time unit.
+class SchemaCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      obs::BenchEntry entry;
+      entry.name = run.benchmark_name();
+      if (run.iterations > 0) {
+        entry.ns_per_op = run.real_accumulated_time * 1e9 /
+                          static_cast<double>(run.iterations);
+      }
+      entry.label = run.report_label;
+      // Counters are finalized (rates already divided by time) before
+      // reporters see them.
+      auto it = run.counters.find("gflops");
+      if (it != run.counters.end()) entry.gflops = it->second.value;
+      it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        entry.items_per_second = it->second.value;
+      }
+      it = run.counters.find("threads");
+      if (it != run.counters.end()) entry.threads = it->second.value;
+      entries.push_back(std::move(entry));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<obs::BenchEntry> entries;
+};
+#endif  // FOCUS_BENCH_HAVE_REPORT
+
 }  // namespace
 }  // namespace focus
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+#ifdef FOCUS_BENCH_HAVE_REPORT
+  json_path = focus::GetEnvOr("FOCUS_BENCH_JSON", "");
+#endif
+  std::vector<char*> args;
+  const std::string kJsonFlag = "--focus-bench-json=";
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    if (arg.rfind(kJsonFlag, 0) == 0) {
+      json_path = arg.substr(kJsonFlag.size());
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  // --smoke: one fast shape per hot kernel family, short min-time. The
+  // strings must outlive Initialize (it keeps the pointers).
+  static std::string smoke_filter =
+      "--benchmark_filter="
+      "BM_MatMul/256$|BM_MatMulBatched/32/96/64$|BM_Conv1d/16/32/96$|"
+      "BM_LayerNormLastDim/3072/64$|BM_SoftmaxLastDim/128$|"
+      "BM_ElementwiseExp/65536$|BM_ProtoAttnForward/64$|"
+      "BM_NearestPrototypeAssignment/1024$";
+  static std::string smoke_min_time = "--benchmark_min_time=0.05";
+  if (smoke) {
+    args.push_back(smoke_filter.data());
+    args.push_back(smoke_min_time.data());
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  args.push_back(nullptr);
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+#ifdef FOCUS_BENCH_HAVE_REPORT
+  focus::SchemaCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty()) {
+    focus::obs::BenchReport report = focus::obs::MakeBenchReport(
+        static_cast<int>(focus::ThreadPool::Global().num_threads()));
+    report.note = smoke ? "bench_kernels --smoke" : "bench_kernels";
+    report.entries = std::move(reporter.entries);
+    const focus::Status status =
+        focus::obs::WriteBenchReport(report, json_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bench_kernels: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("bench report written to %s (%zu entries)\n",
+                json_path.c_str(), report.entries.size());
+  }
+#else
+  benchmark::RunSpecifiedBenchmarks();
+  if (!json_path.empty()) {
+    std::fprintf(stderr,
+                 "bench_kernels: schema output unavailable pre-obs\n");
+  }
+#endif
+  benchmark::Shutdown();
+  return 0;
+}

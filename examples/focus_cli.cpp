@@ -25,6 +25,7 @@
 #include "harness/ascii_plot.h"
 #include "harness/experiments.h"
 #include "nn/serialize.h"
+#include "obs/prof/run_report.h"
 #include "obs/trace.h"
 #include "utils/flags.h"
 
@@ -57,7 +58,9 @@ int Usage() {
       "  --trace[=FILE]              write a span trace on exit "
       "(default trace.json)\n"
       "  --trace-format=chrome|jsonl override the format inferred from the "
-      "file suffix\n");
+      "file suffix\n"
+      "  --report                    print a top-span run report on exit\n"
+      "  --report-json=FILE          also write the run report as JSON\n");
   return 2;
 }
 
@@ -248,6 +251,7 @@ int RunForecast(const FlagParser& flags) {
 int main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   obs::ApplyTraceFlag(flags);
+  obs::prof::ApplyReportFlag(flags);
   if (flags.positional().empty()) return Usage();
   const std::string& command = flags.positional()[0];
   if (command == "generate") return RunGenerate(flags);

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Compare two focus_bench_schema JSON files and gate on ns/op regressions.
+
+Usage:
+  scripts/bench_diff.py BASELINE.json CANDIDATE.json [--threshold-pct=10]
+  scripts/bench_diff.py --selftest
+
+Both inputs must be unified bench reports (obs/bench_report.h schema,
+`"focus_bench_schema": 1`). Benchmarks are matched by `name`; for each
+match the relative ns/op change is printed, and the script exits nonzero
+if any benchmark slowed down by more than --threshold-pct percent.
+Benchmarks present in only one file are warned about but never fail the
+gate (new/removed benchmarks are not regressions).
+
+--selftest exercises the gate with synthetic reports: identical inputs
+must pass, and a 20% slowdown must fail at the default threshold.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("focus_bench_schema") != 1:
+        raise ValueError(
+            f"{path}: missing focus_bench_schema=1 header "
+            "(not a unified bench report)")
+    entries = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name")
+        ns = bench.get("ns_per_op")
+        if name is None or ns is None:
+            raise ValueError(f"{path}: benchmark entry missing name/ns_per_op")
+        entries[name] = float(ns)
+    return entries
+
+
+def diff_reports(baseline, candidate, threshold_pct, out=sys.stdout):
+    """Return the number of regressions beyond threshold_pct."""
+    regressions = 0
+    common = sorted(set(baseline) & set(candidate))
+    if not common:
+        print("bench_diff: no common benchmarks between inputs", file=out)
+        return 1
+    width = max(len(name) for name in common)
+    for name in common:
+        base_ns = baseline[name]
+        cand_ns = candidate[name]
+        if base_ns <= 0.0:
+            print(f"  {name:<{width}}  SKIP (baseline ns_per_op <= 0)",
+                  file=out)
+            continue
+        delta_pct = 100.0 * (cand_ns - base_ns) / base_ns
+        verdict = "ok"
+        if delta_pct > threshold_pct:
+            verdict = f"REGRESSION (> {threshold_pct:g}%)"
+            regressions += 1
+        print(f"  {name:<{width}}  {base_ns:12.1f} -> {cand_ns:12.1f} ns/op "
+              f"({delta_pct:+7.2f}%)  {verdict}", file=out)
+    for name in sorted(set(baseline) - set(candidate)):
+        print(f"  warning: '{name}' in baseline only (removed?)", file=out)
+    for name in sorted(set(candidate) - set(baseline)):
+        print(f"  warning: '{name}' in candidate only (new benchmark)",
+              file=out)
+    return regressions
+
+
+def make_synthetic(scale):
+    return {
+        "BM_MatMul/256": 1000.0 * scale,
+        "BM_SoftmaxLastDim/128": 50.0 * scale,
+        "BM_Conv1d/16/32/96": 420.0 * scale,
+    }
+
+
+def selftest():
+    import io
+
+    base = make_synthetic(1.0)
+    sink = io.StringIO()
+    if diff_reports(base, dict(base), 10.0, out=sink) != 0:
+        print("selftest FAIL: identical inputs reported a regression")
+        return 1
+    slow = make_synthetic(1.2)  # 20% slower must trip a 10% threshold
+    if diff_reports(base, slow, 10.0, out=sink) == 0:
+        print("selftest FAIL: 20% slowdown passed a 10% threshold")
+        return 1
+    # But a generous threshold tolerates it.
+    if diff_reports(base, slow, 50.0, out=sink) != 0:
+        print("selftest FAIL: 20% slowdown failed a 50% threshold")
+        return 1
+    # Disjoint benchmark sets are an error, not a silent pass.
+    if diff_reports(base, {"BM_Other": 1.0}, 10.0, out=sink) == 0:
+        print("selftest FAIL: disjoint benchmark sets passed")
+        return 1
+    print("bench_diff selftest OK")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Gate ns/op regressions between two bench reports.")
+    parser.add_argument("baseline", nargs="?", help="baseline report JSON")
+    parser.add_argument("candidate", nargs="?", help="candidate report JSON")
+    parser.add_argument("--threshold-pct", type=float, default=10.0,
+                        help="max tolerated ns/op slowdown (default 10)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the built-in synthetic-regression check")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+    if not args.baseline or not args.candidate:
+        parser.error("baseline and candidate are required (or --selftest)")
+
+    try:
+        baseline = load_report(args.baseline)
+        candidate = load_report(args.candidate)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"bench_diff: {err}", file=sys.stderr)
+        return 2
+
+    print(f"bench_diff: {args.baseline} vs {args.candidate} "
+          f"(threshold {args.threshold_pct:g}%)")
+    regressions = diff_reports(baseline, candidate, args.threshold_pct)
+    if regressions:
+        print(f"bench_diff: {regressions} regression(s) beyond "
+              f"{args.threshold_pct:g}%", file=sys.stderr)
+        return 1
+    print("bench_diff: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""One-shot converter: backfill results/BENCH_*.json into the unified
+bench-result schema (obs/bench_report.h, `"focus_bench_schema": 1`).
+
+Each pre-PR6 results file used whatever shape its recording session chose
+(raw google-benchmark dumps, per-config maps). This script rewrites them
+as a unified report -- header fields plus a flat `benchmarks` list with
+one mandatory `ns_per_op` per entry -- and preserves the original
+document verbatim under `legacy`. Entry names are suffixed with the run
+configuration (`@threads=8`, `@avx2_t1`) so distinct configurations stay
+distinct benchmarks for scripts/bench_diff.py.
+
+Run from the repo root:  python3 scripts/bench_schema_backfill.py
+Idempotent: files already carrying the schema header are skipped.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def git_file_info(path):
+    """(short sha, ISO date) of the commit that last touched `path`."""
+    try:
+        out = subprocess.check_output(
+            ["git", "log", "-1", "--format=%h %cI", "--", path],
+            cwd=REPO, text=True).strip()
+        sha, date = out.split(" ", 1)
+        return sha, date
+    except (subprocess.CalledProcessError, ValueError, OSError):
+        return "unknown", "unknown"
+
+
+def entry(name, ns_per_op, gflops=0.0, items_per_second=0.0, threads=0.0,
+          label=""):
+    return {
+        "name": name,
+        "ns_per_op": float(ns_per_op),
+        "gflops": float(gflops or 0.0),
+        "items_per_second": float(items_per_second or 0.0),
+        "threads": float(threads or 0.0),
+        "label": label or "",
+    }
+
+
+def gbench_entry(run, suffix):
+    """Normalize one google-benchmark run record (time_unit-aware)."""
+    unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    scale = unit_ns.get(run.get("time_unit", "ns"), 1.0)
+    items = run.get("items_per_second", 0.0)
+    return entry(
+        name=run["name"] + suffix,
+        ns_per_op=run["real_time"] * scale,
+        gflops=items / 1e9 if items > 1e6 else 0.0,
+        items_per_second=items,
+        threads=run.get("threads", 0.0),
+        label=run.get("run_type", ""))
+
+
+def header(doc, path, note, cpu_model, num_cpus, build_type, simd_backend,
+           threads, benchmarks, date=None):
+    sha, file_date = git_file_info(path)
+    return {
+        "focus_bench_schema": 1,
+        "date": date or file_date,
+        "note": note,
+        "machine": {"cpu_model": cpu_model, "num_cpus": num_cpus},
+        "build": {
+            "git_sha": sha,
+            "simd_backend": simd_backend,
+            "build_type": build_type,
+            "threads": threads,
+        },
+        "benchmarks": benchmarks,
+        "legacy": doc,
+    }
+
+
+def convert_kernels(doc, path):
+    ctx = doc["context_t1"]
+    benches = []
+    for run_key, runs in doc["runs"].items():  # "threads=1", "threads=8"
+        for run in runs:
+            if run.get("run_type") != "iteration":
+                continue
+            benches.append(gbench_entry(run, "@" + run_key))
+    return header(
+        doc, path, doc["note"],
+        cpu_model=f"unknown ({ctx['mhz_per_cpu']} MHz)",
+        num_cpus=ctx["num_cpus"], build_type=ctx["library_build_type"],
+        simd_backend="pre-simd", threads=0, benchmarks=benches,
+        date=ctx["date"])
+
+
+def convert_alloc(doc, path):
+    ctx = doc["context"]
+    benches = [gbench_entry(run, "")
+               for run in doc["benchmarks"]
+               if run.get("run_type") == "iteration"]
+    # cap_mb is the interesting configuration axis; fold it into the name.
+    for bench, run in zip(benches, doc["benchmarks"]):
+        cap = run.get("cap_mb")
+        if cap is not None:
+            bench["name"] += f"@cap_mb={int(cap)}"
+    return header(
+        doc, path, doc["note"],
+        cpu_model=f"unknown ({ctx['mhz_per_cpu']} MHz)",
+        num_cpus=ctx["num_cpus"], build_type=ctx["library_build_type"],
+        simd_backend="pre-simd", threads=1, benchmarks=benches,
+        date=ctx["date"])
+
+
+def convert_simd(doc, path):
+    meta = doc["_meta"]
+    benches = []
+    for config, runs in doc["runs"].items():  # "avx2_t1" etc.
+        for name, run in runs.items():
+            benches.append(entry(
+                name=f"{name}@{config}",
+                ns_per_op=run["real_time_ns"],
+                gflops=run.get("gflops", 0.0),
+                items_per_second=run.get("items_per_second", 0.0),
+                threads=run.get("threads", 0.0),
+                label=run.get("backend", "")))
+    return header(
+        doc, path, meta["description"],
+        cpu_model=f"unknown ({meta['mhz_per_cpu']} MHz)",
+        num_cpus=meta["host_cpus"], build_type=meta["library_build_type"],
+        simd_backend="mixed", threads=0, benchmarks=benches)
+
+
+CONVERTERS = {
+    "results/BENCH_kernels.json": convert_kernels,
+    "results/BENCH_alloc.json": convert_alloc,
+    "results/BENCH_simd.json": convert_simd,
+}
+
+
+def main():
+    for rel, convert in CONVERTERS.items():
+        path = os.path.join(REPO, rel)
+        with open(path) as fh:
+            doc = json.load(fh)
+        if doc.get("focus_bench_schema") == 1:
+            print(f"{rel}: already unified, skipping")
+            continue
+        unified = convert(doc, rel)
+        with open(path, "w") as fh:
+            json.dump(unified, fh, indent=2)
+            fh.write("\n")
+        print(f"{rel}: wrote {len(unified['benchmarks'])} unified entries")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

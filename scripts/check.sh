@@ -17,6 +17,13 @@
 #                  parallel-sensitive tests with FOCUS_NUM_THREADS=4 and 8
 #                  (registered by tests/CMakeLists.txt under FOCUS_TSAN).
 #
+# An optional `perf` leg (not in the default matrix — it needs a quiet
+# machine) builds bench_kernels in Release, runs the --smoke subset with
+# --focus-bench-json, and gates ns/op against the committed baseline
+# results/BENCH_smoke_baseline.json via scripts/bench_diff.py. The
+# threshold is deliberately generous (50%) because CI containers share
+# cores; it catches order-of-magnitude regressions, not noise.
+#
 # Each leg uses its own build directory (build-check / build-asan /
 # build-tsan) so instrumented objects never mix. Sanitizer legs disable
 # benchmarks/examples (FOCUS_BUILD_BENCH=OFF) — they aren't tests and
@@ -25,7 +32,7 @@
 # Usage:
 #   scripts/check.sh                # full matrix
 #   scripts/check.sh lint           # one leg:
-#                                   #   lint|default|simdoff|asan|tsan
+#                                   #   lint|default|simdoff|asan|tsan|perf
 #   FOCUS_CHECK_JOBS=8 scripts/check.sh   # override build parallelism
 set -euo pipefail
 
@@ -110,6 +117,24 @@ run_leg_tsan() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFOCUS_TSAN=ON -DFOCUS_BUILD_BENCH=OFF
 }
 
+run_leg_perf() {
+  # Opt-in perf-regression gate: smoke-run the kernel benchmarks and
+  # compare ns/op against the committed baseline. Threshold is generous
+  # (50%) — shared CI cores make tight gates flaky; this catches real
+  # regressions (algorithmic slowdowns, lost vectorization), not jitter.
+  local dir=build-perf
+  note "configure $dir (Release, bench only)"
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  note "build $dir (bench_kernels)"
+  cmake --build "$dir" --target bench_kernels -j "$JOBS"
+  note "bench_kernels --smoke"
+  "$dir/bench/bench_kernels" --smoke \
+    --focus-bench-json="$dir/BENCH_smoke.json"
+  note "bench_diff vs results/BENCH_smoke_baseline.json"
+  python3 scripts/bench_diff.py results/BENCH_smoke_baseline.json \
+    "$dir/BENCH_smoke.json" --threshold-pct=50
+}
+
 LEGS=("${@:-lint default simdoff asan tsan}")
 [ $# -gt 0 ] && LEGS=("$@") || LEGS=(lint default simdoff asan tsan)
 for leg in "${LEGS[@]}"; do
@@ -119,8 +144,9 @@ for leg in "${LEGS[@]}"; do
     simdoff) run_leg_simdoff ;;
     asan)    run_leg_asan ;;
     tsan)    run_leg_tsan ;;
+    perf)    run_leg_perf ;;
     *) echo "check.sh: unknown leg '$leg'" \
-            "(want lint|default|simdoff|asan|tsan)" >&2
+            "(want lint|default|simdoff|asan|tsan|perf)" >&2
        exit 2 ;;
   esac
 done

@@ -26,6 +26,12 @@ repo rules — correctness contracts from the parallel-kernel layer:
                      vector code through simd::KernelTable, which is what
                      keeps the scalar backend and the FOCUS_SIMD=OFF build
                      bit-identical; there is no NOLINT escape.
+  perf-containment   perf_event_open / raw syscall() calls are confined to
+                     src/obs/prof/. Everything else reads hardware counters
+                     through obs::prof::PerfCounters, which owns the single
+                     degradation path (zeroed counters + one warning) on
+                     hosts where the syscall is unavailable; no NOLINT
+                     escape.
 
 format rules — mechanical style (what clang-format would enforce; kept
 tool-free so the check runs in a bare container):
@@ -171,6 +177,20 @@ def check_raw_float_new(path, raw, code):
                "Allocator::Get().Allocate() so they are recycled and counted")
 
 
+def check_perf_containment(path, raw, code):
+    # perf_event_open has exactly one wrapper (obs/prof/perf_counters.cc):
+    # it owns fd lifetime, multiplex scaling, and the degrade-to-zeroes
+    # path. A second call site would fork that error handling, so raw
+    # syscalls are banned outside src/obs/prof/ with no NOLINT escape.
+    rel = str(path.relative_to(REPO_ROOT)).replace("\\", "/")
+    if rel.startswith("src/obs/prof/"):
+        return
+    for m in re.finditer(r"\bperf_event_open\b|\bsyscall\s*\(", code):
+        report(path, line_of(code, m.start()), "perf-containment",
+               f"'{m.group(0).strip()}' outside src/obs/prof/; read hardware "
+               "counters through obs::prof::PerfCounters")
+
+
 def check_simd_containment(path, raw, code):
     # Raw intrinsics anywhere else would fork the numerics: the determinism
     # contract holds because every vector kernel is compiled once from
@@ -261,6 +281,7 @@ def main():
             check_flop_in_parallel(path, raw, code)
             check_raw_array_new(path, raw, code)
             check_raw_float_new(path, raw, code)
+            check_perf_containment(path, raw, code)
             check_simd_containment(path, raw, code)
             check_op_entry_guard(path, raw, code, op_names)
         if "format" in families:

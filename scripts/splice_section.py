@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Replaces one bench's section inside bench_output.txt with fresh output.
 
-Usage: splice_section.py <bench_output.txt> <bench_name> <new_output_file>
+Usage: scripts/splice_section.py <bench_output.txt> <bench_name> <new_out>
 
 Sections are delimited by '##### RUNNING: .../<bench_name>' markers. Used
 when a single bench binary was fixed after the full suite ran, so its

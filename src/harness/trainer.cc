@@ -88,8 +88,10 @@ TrainResult TrainModel(ForecastModel& model, const data::WindowDataset& train,
   }
   result.steps = step;
   result.seconds = timer.ElapsedSeconds();
-  // Mirror the caching allocator's run-so-far counters into the registry so
-  // they appear in --trace exports even when tracing flushes later.
+  // Mirror the caching allocator's run-so-far counters into the registry on
+  // every normal trainer exit — not only via Tracer::Flush() — so runs
+  // without FOCUS_TRACE still end with final alloc/* values queryable from
+  // MetricsRegistry (EvaluateModel does the same for eval-only runs).
   obs::PublishAllocatorMetrics();
   const auto step_ms = registry.Summarize("train/step_ms");
   result.step_ms_p50 = step_ms.p50;
@@ -139,6 +141,9 @@ metrics::ForecastMetrics EvaluateModel(ForecastModel& model,
     registry.SetGauge("eval/windows_per_sec",
                       static_cast<double>(windows_evaluated) / seconds);
   }
+  // Keep alloc/* fresh for evaluation-only runs (no TrainModel exit and
+  // possibly no Tracer::Flush to publish them).
+  obs::PublishAllocatorMetrics();
   return metrics;
 }
 

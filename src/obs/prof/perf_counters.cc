@@ -1,0 +1,169 @@
+#include "obs/prof/perf_counters.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "utils/env.h"
+#include "utils/logging.h"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define FOCUS_PROF_HAVE_PERF 1
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace focus {
+namespace obs {
+namespace prof {
+
+namespace {
+
+std::atomic<bool> g_force_unavailable{false};
+// One warning per process for the whole degradation family; re-armed by
+// ForceUnavailableForTest so tests can exercise the latch.
+std::atomic<bool> g_warned{false};
+// -1 unset, 0 off, 1 on; SetCountersRequestedForTest overwrites.
+std::atomic<int> g_requested_override{-1};
+
+void WarnOnce(const char* what, int err) {
+  if (g_warned.exchange(true, std::memory_order_relaxed)) return;
+  FOCUS_LOG(Warning) << "hardware perf counters unavailable (" << what
+                     << ": " << std::strerror(err)
+                     << "); spans will carry zeroed counters";
+}
+
+#ifdef FOCUS_PROF_HAVE_PERF
+// The four events a group measures, in fds_[] order. Siblings follow the
+// cycles leader; a sibling that fails to open (PMU without the event)
+// degrades to zero without invalidating the group.
+constexpr uint32_t kEventConfigs[PerfCounters::kEvents] = {
+    PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_MISSES, PERF_COUNT_HW_BRANCH_MISSES};
+
+long PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                   unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+int OpenEvent(uint32_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // time_enabled/time_running let Read() rescale counts when the kernel
+  // multiplexes more groups than the PMU has slots.
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(
+      PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1, group_fd, /*flags=*/0));
+}
+
+int64_t ReadScaled(int fd) {
+  if (fd < 0) return 0;
+  struct {
+    uint64_t value;
+    uint64_t time_enabled;
+    uint64_t time_running;
+  } data = {0, 0, 0};
+  if (read(fd, &data, sizeof(data)) != sizeof(data)) return 0;
+  if (data.time_running == 0) return 0;
+  if (data.time_running >= data.time_enabled) {
+    return static_cast<int64_t>(data.value);
+  }
+  const double scale = static_cast<double>(data.time_enabled) /
+                       static_cast<double>(data.time_running);
+  return static_cast<int64_t>(static_cast<double>(data.value) * scale);
+}
+#endif  // FOCUS_PROF_HAVE_PERF
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+#ifdef FOCUS_PROF_HAVE_PERF
+  if (g_force_unavailable.load(std::memory_order_relaxed)) {
+    WarnOnce("forced unavailable for test", ENOSYS);
+    return;
+  }
+  errno = 0;
+  fds_[0] = OpenEvent(kEventConfigs[0], /*group_fd=*/-1);
+  if (fds_[0] < 0) {
+    WarnOnce("perf_event_open(cycles)", errno);
+    return;
+  }
+  valid_ = true;
+  for (int i = 1; i < kEvents; ++i) {
+    fds_[i] = OpenEvent(kEventConfigs[i], /*group_fd=*/fds_[0]);
+  }
+#else
+  WarnOnce("perf_event_open not supported on this platform", ENOSYS);
+#endif
+}
+
+PerfCounters::~PerfCounters() {
+#ifdef FOCUS_PROF_HAVE_PERF
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+#endif
+}
+
+PerfSample PerfCounters::Read() const {
+  PerfSample sample;
+  if (!valid_) return sample;
+#ifdef FOCUS_PROF_HAVE_PERF
+  sample.cycles = ReadScaled(fds_[0]);
+  sample.instructions = ReadScaled(fds_[1]);
+  sample.cache_misses = ReadScaled(fds_[2]);
+  sample.branch_misses = ReadScaled(fds_[3]);
+#endif
+  return sample;
+}
+
+PerfCounters& PerfCounters::ThreadLocal() {
+  thread_local PerfCounters counters;
+  return counters;
+}
+
+bool Available() {
+  if (g_force_unavailable.load(std::memory_order_relaxed)) return false;
+#ifdef FOCUS_PROF_HAVE_PERF
+  // Probe with a throwaway group once; the result cannot change within a
+  // process (capabilities and paranoid level are fixed at exec time).
+  static const bool available = [] {
+    PerfCounters probe;
+    return probe.valid();
+  }();
+  return available;
+#else
+  return false;
+#endif
+}
+
+bool CountersRequested() {
+  const int forced = g_requested_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool requested = [] {
+    const std::string v = GetEnvOr("FOCUS_PERF_COUNTERS", "0");
+    return v == "1" || v == "true" || v == "on";
+  }();
+  return requested;
+}
+
+void ForceUnavailableForTest(bool force) {
+  g_force_unavailable.store(force, std::memory_order_relaxed);
+  g_warned.store(false, std::memory_order_relaxed);
+}
+
+void SetCountersRequestedForTest(bool requested) {
+  g_requested_override.store(requested ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace prof
+}  // namespace obs
+}  // namespace focus

@@ -1,0 +1,94 @@
+// Linux hardware performance counters via perf_event_open.
+//
+// A PerfCounters object owns one per-thread group of hardware counters
+// (cycles, instructions, cache-misses, branch-misses) opened with
+// perf_event_open(2). Counters run from construction; Read() returns the
+// cumulative counts, multiplex-scaled by time_enabled/time_running, so two
+// Read() calls bracket a region the way Stopwatch brackets wall-clock.
+//
+// Degradation contract: perf_event_open is frequently unavailable
+// (containers without CAP_PERFMON, kernel.perf_event_paranoid >= 2,
+// non-Linux hosts, VMs without PMU passthrough). Every failure mode
+// degrades to a valid object whose Read() returns all-zero samples, and
+// the process logs exactly one warning — the first time an open fails —
+// naming the errno. Nothing else changes: spans still export, with zeroed
+// counter fields (tests/prof_test.cc locks this in).
+//
+// TraceSpan attachment: when FOCUS_PERF_COUNTERS=1 is set, every
+// obs::TraceSpan brackets its scope with the calling thread's long-lived
+// counter group (ThreadLocal()) and records the deltas in the SpanEvent,
+// from which the exporters derive IPC and cache-miss rates. The env var is
+// read once; tests override it with SetCountersRequestedForTest().
+//
+// This header and its .cc are the only place in the repo allowed to call
+// perf_event_open / syscall (enforced by focus_lint.py's perf-containment
+// rule).
+#ifndef FOCUS_OBS_PROF_PERF_COUNTERS_H_
+#define FOCUS_OBS_PROF_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace focus {
+namespace obs {
+namespace prof {
+
+// One cumulative reading. All values are scaled event counts since the
+// owning PerfCounters object was constructed; all-zero when degraded.
+struct PerfSample {
+  int64_t cycles = 0;
+  int64_t instructions = 0;
+  int64_t cache_misses = 0;
+  int64_t branch_misses = 0;
+};
+
+class PerfCounters {
+ public:
+  // Opens the counter group for the calling thread. Never throws: on any
+  // failure the object is constructed degraded (valid() == false).
+  PerfCounters();
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  // True when at least the cycle counter is live. Individual siblings
+  // (e.g. cache-misses on a PMU without that event) may still be degraded
+  // and read zero.
+  bool valid() const { return valid_; }
+
+  // Cumulative counts since construction. Zeros when degraded. Safe to
+  // call from the owning thread only (the group counts that thread).
+  PerfSample Read() const;
+
+  // Long-lived counter group for the calling thread, opened on first use.
+  // TraceSpan uses this so span entry/exit is two reads, not an open.
+  static PerfCounters& ThreadLocal();
+
+  // Events per group: cycles (leader), instructions, cache-misses,
+  // branch-misses.
+  static constexpr int kEvents = 4;
+
+ private:
+  int fds_[kEvents] = {-1, -1, -1, -1};
+  bool valid_ = false;
+};
+
+// True when this process can open hardware counters (probes once, then
+// cached). Sees ForceUnavailableForTest.
+bool Available();
+
+// True when FOCUS_PERF_COUNTERS=1 asked for span attachment (env read
+// once; SetCountersRequestedForTest overrides).
+bool CountersRequested();
+
+// Test hooks. Force*: newly constructed PerfCounters objects degrade as
+// if perf_event_open had failed (existing objects are unaffected), and
+// the one-shot warning latch is re-armed so the degradation path can be
+// re-exercised. SetCountersRequested*: overrides the env-derived flag.
+void ForceUnavailableForTest(bool force);
+void SetCountersRequestedForTest(bool requested);
+
+}  // namespace prof
+}  // namespace obs
+}  // namespace focus
+
+#endif  // FOCUS_OBS_PROF_PERF_COUNTERS_H_

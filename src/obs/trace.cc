@@ -7,6 +7,8 @@
 #include <memory>
 
 #include "obs/metrics_registry.h"
+#include "obs/prof/perf_counters.h"
+#include "obs/prof/run_report.h"
 #include "tensor/allocator.h"
 #include "tensor/flops.h"
 #include "tensor/memory.h"
@@ -82,6 +84,12 @@ void AppendEscaped(std::string& out, const std::string& s) {
   }
 }
 
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
 void AppendSpanArgs(std::string& out, const SpanEvent& ev) {
   out += "\"flops\":" + std::to_string(ev.flops);
   out += ",\"self_flops\":" + std::to_string(ev.self_flops);
@@ -89,14 +97,24 @@ void AppendSpanArgs(std::string& out, const SpanEvent& ev) {
   out += ",\"allocs\":" + std::to_string(ev.allocs);
   out += ",\"alloc_hits\":" + std::to_string(ev.alloc_hits);
   out += ",\"alloc_misses\":" + std::to_string(ev.alloc_misses);
+  out += ",\"alloc_bytes\":" + std::to_string(ev.alloc_bytes);
   out += ",\"wall_us\":" + std::to_string(ev.wall_us);
   out += ",\"depth\":" + std::to_string(ev.depth);
-}
-
-std::string FormatDouble(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
+  // Roofline attribution (obs/prof): achieved GFLOP/s over the span's
+  // wall-clock, and arithmetic intensity against the span's logical byte
+  // traffic. Always emitted — they derive from fields recorded above.
+  out += ",\"gflops\":" + FormatDouble(prof::AchievedGflops(ev));
+  out += ",\"arith_intensity\":" +
+         FormatDouble(prof::ArithmeticIntensity(ev));
+  // Hardware-counter fields only when FOCUS_PERF_COUNTERS asked for them
+  // (zeroed when the syscall is unavailable — see perf_counters.h).
+  if (prof::CountersRequested()) {
+    out += ",\"cycles\":" + std::to_string(ev.cycles);
+    out += ",\"instructions\":" + std::to_string(ev.instructions);
+    out += ",\"cache_misses\":" + std::to_string(ev.cache_misses);
+    out += ",\"branch_misses\":" + std::to_string(ev.branch_misses);
+    out += ",\"ipc\":" + FormatDouble(prof::Ipc(ev));
+  }
 }
 
 void AppendHistogramJson(std::string& out,
@@ -229,6 +247,11 @@ std::vector<std::pair<std::string, SpanStats>> AggregateSpans(
     stats->allocs += ev.allocs;
     stats->alloc_hits += ev.alloc_hits;
     stats->alloc_misses += ev.alloc_misses;
+    stats->alloc_bytes += ev.alloc_bytes;
+    stats->cycles += ev.cycles;
+    stats->instructions += ev.instructions;
+    stats->cache_misses += ev.cache_misses;
+    stats->branch_misses += ev.branch_misses;
   }
   return out;
 }
@@ -243,6 +266,10 @@ Tracer& Tracer::Get() {
         "FOCUS_OBS_KERNEL_SAMPLE", t->kernel_sample_, 1, 1 << 20));
     const std::string path = GetEnvOr("FOCUS_TRACE", "");
     if (!path.empty()) t->SetOutput(path, FormatForPath(path));
+    // FOCUS_REPORT_JSON: end-of-run roofline report, independent of
+    // FOCUS_TRACE. Enable() on the local pointer — Tracer::Get() must not
+    // re-enter its own initialization.
+    if (prof::ConfigureRunReportFromEnv()) t->Enable();
     return t;
   }();
   return *tracer;
@@ -346,11 +373,26 @@ TraceSpan::TraceSpan(const char* name, Options options) : name_(name) {
   start_alloc_hits_ = alloc_stats.hits;
   start_alloc_misses_ = alloc_stats.misses;
   start_bytes_ = MemoryStats::CurrentBytes();
+  start_alloc_bytes_ = MemoryStats::TotalAllocatedBytes();
   // Window the global high-water mark to this span: reset it on entry and
   // restore the running maximum on exit, so nested spans and outer
   // observers (e.g. metrics::ProbeEfficiency) both see correct peaks.
   saved_peak_ = MemoryStats::PeakBytes();
   MemoryStats::SetPeak(start_bytes_);
+  if (prof::CountersRequested()) {
+    // Long-lived per-thread group: entry/exit are counter reads, not
+    // perf_event_open calls. Degrades to zeros (one process-wide warning)
+    // when the syscall is unavailable.
+    prof::PerfCounters& counters = prof::PerfCounters::ThreadLocal();
+    if (counters.valid()) {
+      perf_active_ = true;
+      const prof::PerfSample sample = counters.Read();
+      start_cycles_ = sample.cycles;
+      start_instructions_ = sample.instructions;
+      start_cache_misses_ = sample.cache_misses;
+      start_branch_misses_ = sample.branch_misses;
+    }
+  }
 }
 
 TraceSpan::~TraceSpan() {
@@ -379,6 +421,15 @@ TraceSpan::~TraceSpan() {
   const AllocatorStats alloc_stats = Allocator::Get().Stats();
   event.alloc_hits = alloc_stats.hits - start_alloc_hits_;
   event.alloc_misses = alloc_stats.misses - start_alloc_misses_;
+  event.alloc_bytes = MemoryStats::TotalAllocatedBytes() - start_alloc_bytes_;
+  if (perf_active_) {
+    const prof::PerfSample sample =
+        prof::PerfCounters::ThreadLocal().Read();
+    event.cycles = sample.cycles - start_cycles_;
+    event.instructions = sample.instructions - start_instructions_;
+    event.cache_misses = sample.cache_misses - start_cache_misses_;
+    event.branch_misses = sample.branch_misses - start_branch_misses_;
+  }
   Tracer::Get().Record(std::move(event));
 }
 

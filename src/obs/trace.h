@@ -56,6 +56,16 @@ struct SpanEvent {
   // from the recycle cache vs. from the system heap.
   int64_t alloc_hits = 0;
   int64_t alloc_misses = 0;
+  // Logical tensor bytes allocated during the span (inclusive) — the byte
+  // traffic term of the roofline attribution (obs/prof/run_report.h).
+  int64_t alloc_bytes = 0;
+  // Hardware counters (obs/prof/perf_counters.h), populated when
+  // FOCUS_PERF_COUNTERS=1; zero when the syscall is unavailable or the
+  // feature is off. Exporters derive IPC = instructions / cycles.
+  int64_t cycles = 0;
+  int64_t instructions = 0;
+  int64_t cache_misses = 0;
+  int64_t branch_misses = 0;
 };
 
 // Per-name aggregate over a set of events, in first-use order.
@@ -68,6 +78,11 @@ struct SpanStats {
   int64_t allocs = 0;      // summed
   int64_t alloc_hits = 0;    // summed
   int64_t alloc_misses = 0;  // summed
+  int64_t alloc_bytes = 0;   // summed
+  int64_t cycles = 0;        // summed
+  int64_t instructions = 0;  // summed
+  int64_t cache_misses = 0;   // summed
+  int64_t branch_misses = 0;  // summed
 };
 std::vector<std::pair<std::string, SpanStats>> AggregateSpans(
     const std::vector<SpanEvent>& events);
@@ -159,6 +174,14 @@ class TraceSpan {
   int64_t start_bytes_ = 0;
   int64_t saved_peak_ = 0;
   int64_t child_flops_ = 0;
+  int64_t start_alloc_bytes_ = 0;
+  // Hardware-counter snapshot at entry (zeros unless FOCUS_PERF_COUNTERS
+  // is on and the thread's counter group opened).
+  bool perf_active_ = false;
+  int64_t start_cycles_ = 0;
+  int64_t start_instructions_ = 0;
+  int64_t start_cache_misses_ = 0;
+  int64_t start_branch_misses_ = 0;
 };
 
 // Wires the conventional `--trace=<path>` (and optional

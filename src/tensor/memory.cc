@@ -13,11 +13,13 @@ namespace {
 int64_t g_current_bytes = 0;
 int64_t g_peak_bytes = 0;
 int64_t g_total_allocations = 0;
+int64_t g_total_allocated_bytes = 0;
 }  // namespace
 
 int64_t MemoryStats::CurrentBytes() { return g_current_bytes; }
 int64_t MemoryStats::PeakBytes() { return g_peak_bytes; }
 int64_t MemoryStats::TotalAllocations() { return g_total_allocations; }
+int64_t MemoryStats::TotalAllocatedBytes() { return g_total_allocated_bytes; }
 
 void MemoryStats::ResetPeak() { g_peak_bytes = g_current_bytes; }
 
@@ -26,6 +28,7 @@ void MemoryStats::SetPeak(int64_t bytes) { g_peak_bytes = bytes; }
 void MemoryStats::RecordAlloc(int64_t bytes) {
   g_current_bytes += bytes;
   ++g_total_allocations;
+  g_total_allocated_bytes += bytes;
   g_peak_bytes = std::max(g_peak_bytes, g_current_bytes);
 }
 

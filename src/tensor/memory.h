@@ -27,6 +27,11 @@ struct MemoryStats {
   static int64_t PeakBytes();
   // Total number of allocations since process start.
   static int64_t TotalAllocations();
+  // Total logical bytes ever allocated since process start (monotonic).
+  // obs::TraceSpan differences this across a span to get the span's byte
+  // traffic — the denominator of the roofline arithmetic-intensity figure
+  // (see obs/prof/run_report.h).
+  static int64_t TotalAllocatedBytes();
   // Sets the peak to the current live byte count.
   static void ResetPeak();
   // Internal: overwrites the high-water mark. obs::TraceSpan uses this to

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -305,6 +306,87 @@ TEST_F(ObsTest, MetricsRegistryCountersGaugesPercentiles) {
   EXPECT_DOUBLE_EQ(summary.p95, 95.0);
   registry.ResetHistogram("test/h");
   EXPECT_EQ(registry.Summarize("test/h").count, 0);
+}
+
+TEST_F(ObsTest, HistogramPercentilesNearestRank) {
+  // Pin the nearest-rank contract on a known distribution: with ten
+  // samples 10..100, rank(q) = ceil(q*n) one-indexed, so p50 is the 5th
+  // sample and p95 the 10th. A switch to interpolation would silently
+  // change every reported step-time percentile; this test makes that a
+  // visible decision.
+  auto& registry = obs::MetricsRegistry::Get();
+  registry.ResetHistogram("test/ranks");
+  for (int i = 10; i <= 100; i += 10) {
+    registry.Observe("test/ranks", static_cast<double>(i));
+  }
+  const auto ten = registry.Summarize("test/ranks");
+  EXPECT_EQ(ten.count, 10);
+  EXPECT_DOUBLE_EQ(ten.p50, 50.0);
+  EXPECT_DOUBLE_EQ(ten.p95, 100.0);
+  EXPECT_DOUBLE_EQ(ten.mean, 55.0);
+
+  // A single sample is every percentile at once.
+  registry.ResetHistogram("test/ranks");
+  registry.Observe("test/ranks", 7.0);
+  const auto one = registry.Summarize("test/ranks");
+  EXPECT_DOUBLE_EQ(one.p50, 7.0);
+  EXPECT_DOUBLE_EQ(one.p95, 7.0);
+
+  // Insertion order must not matter: observe descending, summarize sorted.
+  registry.ResetHistogram("test/ranks");
+  for (int i = 100; i >= 1; --i) {
+    registry.Observe("test/ranks", static_cast<double>(i));
+  }
+  const auto descending = registry.Summarize("test/ranks");
+  EXPECT_DOUBLE_EQ(descending.min, 1.0);
+  EXPECT_DOUBLE_EQ(descending.p50, 50.0);
+  EXPECT_DOUBLE_EQ(descending.p95, 95.0);
+  registry.ResetHistogram("test/ranks");
+}
+
+TEST_F(ObsTest, HistogramConcurrentObserveAndSummarize) {
+  // Hammer one histogram from 4 then 8 recorder threads while the main
+  // thread concurrently summarizes — under the TSan matrix (check.sh
+  // tsan leg re-runs obs_test) any lock hole in Observe/Summarize/Reset
+  // becomes a reported race; under plain builds the final count/min/max
+  // still pin the no-lost-update contract.
+  auto& registry = obs::MetricsRegistry::Get();
+  constexpr int kPerThread = 1000;
+  for (int num_threads : {4, 8}) {
+    registry.ResetHistogram("test/stress");
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) {
+      workers.emplace_back([&registry, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          registry.Observe("test/stress",
+                           static_cast<double>(t * kPerThread + i));
+        }
+      });
+    }
+    // Concurrent reads must observe a consistent snapshot: count grows
+    // monotonically and min/max stay inside the produced range.
+    int64_t last_count = 0;
+    for (int probe = 0; probe < 50; ++probe) {
+      const auto mid = registry.Summarize("test/stress");
+      EXPECT_GE(mid.count, last_count);
+      last_count = mid.count;
+      if (mid.count > 0) {
+        EXPECT_GE(mid.min, 0.0);
+        EXPECT_LE(mid.max, static_cast<double>(num_threads * kPerThread - 1));
+      }
+    }
+    for (auto& worker : workers) worker.join();
+    const auto final_summary = registry.Summarize("test/stress");
+    EXPECT_EQ(final_summary.count, num_threads * kPerThread);
+    EXPECT_DOUBLE_EQ(final_summary.min, 0.0);
+    EXPECT_DOUBLE_EQ(final_summary.max,
+                     static_cast<double>(num_threads * kPerThread - 1));
+    // Uniform 0..N-1: nearest-rank p50 sits at ceil(N/2)-1.
+    EXPECT_DOUBLE_EQ(final_summary.p50,
+                     static_cast<double>(num_threads * kPerThread / 2 - 1));
+  }
+  registry.ResetHistogram("test/stress");
 }
 
 }  // namespace
