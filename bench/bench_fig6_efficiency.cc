@@ -14,9 +14,14 @@
 // --bench-json=<path> additionally records every (model, L) latency/FLOP
 // probe in the unified bench-result schema (obs/bench_report.h) so
 // scripts/bench_diff.py can gate efficiency regressions across PRs.
+// --plan-json=<path> records the planned-vs-eager single-thread latency
+// section (src/plan execution path) in the same schema; the committed
+// recording lives at results/BENCH_plan.json.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
+#include "core/planned_forecaster.h"
 #include "harness/experiments.h"
 #include "metrics/metrics.h"
 #include "obs/bench_report.h"
@@ -24,6 +29,7 @@
 #include "parallel/thread_pool.h"
 #include "tensor/flops.h"
 #include "utils/flags.h"
+#include "utils/stopwatch.h"
 #include "utils/table.h"
 
 int main(int argc, char** argv) {
@@ -89,6 +95,75 @@ int main(int argc, char** argv) {
     const double f_large =
         static_cast<double>(metrics::ProbeEfficiency(*large, x_large).flops);
     std::printf("  %-14s %.1fx\n", model_name.c_str(), f_large / f_small);
+  }
+
+  // Planned-vs-eager single-thread forecast latency on the same fig6
+  // configs: eager is the inference-mode tape-free path, planned replays
+  // a compiled execution plan (static slab, fused sweeps, zero
+  // allocator calls). Both are best-of-3 after one warm-up; single
+  // thread isolates the plan's overhead removal from pool scaling.
+  const std::string plan_json = flags.GetString("plan-json", "");
+  obs::BenchReport plan_report = obs::MakeBenchReport(1);
+  plan_report.note =
+      "planned vs eager single-thread forecast latency (fig6 configs)";
+  std::printf("\n=== Planned vs eager inference latency (1 thread) ===\n");
+  const int pool_threads =
+      static_cast<int>(ThreadPool::Global().num_threads());
+  ThreadPool::Global().Resize(1);
+  Table plan_table({"Model", "L", "Eager(ms)", "Planned(ms)", "Speedup"});
+  for (const std::string model_name : {"FOCUS", "PatchTST", "DLinear"}) {
+    for (int64_t length : lengths) {
+      auto model =
+          harness::BuildModel(model_name, data, length, horizon, profile);
+      model->SetTraining(false);
+      Tensor sample = Tensor::Randn({1, n, length}, rng);
+      const int reps = 3;
+      double eager_ms = 1e30;
+      {
+        InferenceModeGuard inference;
+        model->Forward(sample);  // warm (allocator caches, code paths)
+        for (int r = 0; r < reps; ++r) {
+          Stopwatch timer;
+          model->Forward(sample);
+          eager_ms = std::min(eager_ms, timer.ElapsedMillis());
+        }
+      }
+      core::PlannedForecaster planned(model.get());
+      planned.Forward(sample);  // capture + compile outside the timing
+      double planned_ms = 1e30;
+      for (int r = 0; r < reps; ++r) {
+        Stopwatch timer;
+        planned.Forward(sample);
+        planned_ms = std::min(planned_ms, timer.ElapsedMillis());
+      }
+      const bool was_planned = planned.last_was_planned();
+      plan_table.AddRow({model_name, std::to_string(length),
+                         Table::Num(eager_ms, 2), Table::Num(planned_ms, 2),
+                         was_planned
+                             ? Table::Num(eager_ms / planned_ms, 2) + "x"
+                             : std::string("(eager fallback)")});
+      for (const char* path : {"eager", "planned"}) {
+        obs::BenchEntry entry;
+        entry.name = "plan/" + model_name + "/L=" + std::to_string(length) +
+                     "/" + path;
+        entry.ns_per_op =
+            (path[0] == 'e' ? eager_ms : planned_ms) * 1e6;
+        entry.threads = 1.0;
+        entry.label = plan_report.simd_backend;
+        plan_report.entries.push_back(std::move(entry));
+      }
+    }
+  }
+  ThreadPool::Global().Resize(pool_threads);
+  std::printf("%s", plan_table.ToAscii().c_str());
+  if (!plan_json.empty()) {
+    const Status status = obs::WriteBenchReport(plan_report, plan_json);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bench_fig6: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("plan report written to %s (%zu entries)\n",
+                plan_json.c_str(), plan_report.entries.size());
   }
 
   // FOCUS per-component attribution via obs::TraceSpan, cross-checked

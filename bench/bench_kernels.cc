@@ -33,6 +33,12 @@
 #define FOCUS_BENCH_HAVE_SIMD 1
 #endif
 
+#if __has_include("plan/plan.h")
+#include "core/focus_model.h"
+#include "plan/plan.h"
+#define FOCUS_BENCH_HAVE_PLAN 1
+#endif
+
 #if __has_include("obs/bench_report.h")
 #include "obs/bench_report.h"
 #include "utils/env.h"
@@ -302,6 +308,88 @@ void BM_TrainStepLoop(benchmark::State& state) {
 BENCHMARK(BM_TrainStepLoop)->Arg(0)->Arg(512)
     ->Unit(benchmark::kMillisecond);
 
+#ifdef FOCUS_BENCH_HAVE_PLAN
+// Planned vs eager inference on a compact FOCUS configuration — the
+// execution-plan layer's end-to-end effect (no tape bookkeeping, zero
+// allocator calls, folded constant subgraphs, fused elementwise
+// sweeps). The planned numbers are steady state: capture + compile
+// happen once before the timed loop.
+core::FocusModel MakeBenchFocusModel(int64_t lookback) {
+  core::FocusConfig cfg;
+  cfg.lookback = lookback;
+  cfg.horizon = 24;
+  cfg.num_entities = 8;
+  cfg.patch_len = 16;
+  cfg.d_model = 64;
+  cfg.readout_queries = 6;
+  cfg.seed = 9;
+  Rng rng(10);
+  return core::FocusModel(cfg, Tensor::Randn({16, 16}, rng));
+}
+
+void BM_FocusForecastEager(benchmark::State& state) {
+  const int64_t lookback = state.range(0);
+  core::FocusModel model = MakeBenchFocusModel(lookback);
+  model.SetTraining(false);
+  Rng rng(11);
+  Tensor x = Tensor::Randn({1, 8, lookback}, rng);
+  InferenceModeGuard inference;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Forward(x).data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  ReportThreads(state);
+}
+BENCHMARK(BM_FocusForecastEager)->Arg(96)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FocusForecastPlanned(benchmark::State& state) {
+  const int64_t lookback = state.range(0);
+  core::FocusModel model = MakeBenchFocusModel(lookback);
+  model.SetTraining(false);
+  Rng rng(11);
+  Tensor x = Tensor::Randn({1, 8, lookback}, rng);
+  model.ForecastPlanned(x);  // capture + compile outside the timed loop
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ForecastPlanned(x).data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["planned"] =
+      model.last_forecast_planned() ? 1.0 : 0.0;
+  ReportThreads(state);
+}
+BENCHMARK(BM_FocusForecastPlanned)->Arg(96)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+// Fusion in isolation: the same captured elementwise chain
+// (add+gelu, mul_scalar+sigmoid) replayed with fusion off (Arg 0)
+// and on (Arg 1).
+void BM_ElemChainPlanned(benchmark::State& state) {
+  const bool fuse = state.range(0) != 0;
+  const int64_t n = 1 << 16;
+  Rng rng(12);
+  Tensor c = Tensor::Randn({n}, rng);
+  Tensor x = Tensor::Randn({n}, rng);
+  auto fn = [&](const Tensor& in) {
+    return Sigmoid(MulScalar(Gelu(Add(in, c)), 0.7f));
+  };
+  plan::Options opts;
+  opts.fuse = fuse;
+  auto compiled = plan::ExecutionPlan::Capture(fn, x, opts);
+  if (compiled == nullptr) {
+    state.SkipWithError("plan capture failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled->Run(x).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["fused"] = static_cast<double>(compiled->stats().fused);
+  ReportThreads(state);
+}
+BENCHMARK(BM_ElemChainPlanned)->Arg(0)->Arg(1);
+#endif  // FOCUS_BENCH_HAVE_PLAN
+
 #ifdef FOCUS_BENCH_HAVE_REPORT
 // Console reporter that additionally captures every finished run as a
 // schema entry (obs/bench_report.h). ns_per_op comes from the raw
@@ -368,7 +456,8 @@ int main(int argc, char** argv) {
       "BM_MatMul/256$|BM_MatMulBatched/32/96/64$|BM_Conv1d/16/32/96$|"
       "BM_LayerNormLastDim/3072/64$|BM_SoftmaxLastDim/128$|"
       "BM_ElementwiseExp/65536$|BM_ProtoAttnForward/64$|"
-      "BM_NearestPrototypeAssignment/1024$";
+      "BM_NearestPrototypeAssignment/1024$|BM_FocusForecastEager/96$|"
+      "BM_FocusForecastPlanned/96$|BM_ElemChainPlanned/1$";
   static std::string smoke_min_time = "--benchmark_min_time=0.05";
   if (smoke) {
     args.push_back(smoke_filter.data());

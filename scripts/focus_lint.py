@@ -32,6 +32,12 @@ repo rules — correctness contracts from the parallel-kernel layer:
                      degradation path (zeroed counters + one warning) on
                      hosts where the syscall is unavailable; no NOLINT
                      escape.
+  plan-containment   SlabLease (the execution-plan slab) is confined to
+                     src/plan/ and its definition in tensor/allocator.h.
+                     Slab offsets alias each other by design; only the plan
+                     compiler's lifetime solver can prove a slab pointer
+                     valid, so no other layer may hold one. No NOLINT
+                     escape.
 
 format rules — mechanical style (what clang-format would enforce; kept
 tool-free so the check runs in a bare container):
@@ -191,6 +197,20 @@ def check_perf_containment(path, raw, code):
                "counters through obs::prof::PerfCounters")
 
 
+def check_plan_containment(path, raw, code):
+    # A SlabLease hands out one backing buffer that every plan temp
+    # aliases at solver-chosen offsets. Outside the plan compiler there
+    # is no lifetime information that could justify touching it, so any
+    # other holder is a latent use-after-overwrite; no NOLINT escape.
+    rel = str(path.relative_to(REPO_ROOT)).replace("\\", "/")
+    if rel.startswith("src/plan/") or rel == "src/tensor/allocator.h":
+        return
+    for m in re.finditer(r"\bSlabLease\b", code):
+        report(path, line_of(code, m.start()), "plan-containment",
+               "SlabLease outside src/plan/; run against a compiled "
+               "ExecutionPlan instead of holding slab memory directly")
+
+
 def check_simd_containment(path, raw, code):
     # Raw intrinsics anywhere else would fork the numerics: the determinism
     # contract holds because every vector kernel is compiled once from
@@ -282,6 +302,7 @@ def main():
             check_raw_array_new(path, raw, code)
             check_raw_float_new(path, raw, code)
             check_perf_containment(path, raw, code)
+            check_plan_containment(path, raw, code)
             check_simd_containment(path, raw, code)
             check_op_entry_guard(path, raw, code, op_names)
         if "format" in families:

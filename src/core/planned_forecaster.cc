@@ -1,0 +1,59 @@
+#include "core/planned_forecaster.h"
+
+#include <algorithm>
+
+namespace focus {
+namespace core {
+
+PlannedForecaster::PlannedForecaster(ForecastModel* model,
+                                     plan::Options opts)
+    : model_(model), opts_(opts) {
+  FOCUS_CHECK(model_ != nullptr);
+}
+
+const plan::ExecutionPlan* PlannedForecaster::plan_for(
+    const Shape& shape) const {
+  for (const auto& [s, p] : plans_) {
+    if (s == shape) return p.get();
+  }
+  return nullptr;
+}
+
+Tensor PlannedForecaster::Forward(const Tensor& x) {
+  FOCUS_CHECK(x.defined());
+  for (auto& [shape, p] : plans_) {
+    if (shape != x.shape()) continue;
+    if (p->Matches(x)) {
+      last_was_planned_ = true;
+      return p->Run(x);
+    }
+    // Same shape but stale backend: drop and recapture below.
+    plans_.erase(std::remove_if(plans_.begin(), plans_.end(),
+                                [&](const auto& entry) {
+                                  return entry.first == x.shape();
+                                }),
+                 plans_.end());
+    break;
+  }
+  const bool known_bad =
+      std::find(failed_shapes_.begin(), failed_shapes_.end(),
+                x.shape()) != failed_shapes_.end();
+  if (!known_bad) {
+    auto plan = plan::ExecutionPlan::Capture(
+        [this](const Tensor& in) { return model_->Forward(in); }, x,
+        opts_);
+    if (plan != nullptr) {
+      last_was_planned_ = true;
+      Tensor out = plan->Run(x);
+      plans_.emplace_back(x.shape(), std::move(plan));
+      return out;
+    }
+    failed_shapes_.push_back(x.shape());
+  }
+  last_was_planned_ = false;
+  InferenceModeGuard inference;
+  return model_->Forward(x);
+}
+
+}  // namespace core
+}  // namespace focus

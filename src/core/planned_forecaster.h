@@ -1,0 +1,55 @@
+// Plan-or-eager forecasting front end.
+//
+// Wraps any ForecastModel with a per-shape cache of compiled execution
+// plans (src/plan): the first Forward() for an input shape captures and
+// compiles a plan; subsequent calls replay it (zero tensor-allocator
+// calls, fused kernels, no tape). Shapes whose capture failed — the
+// model used an op without a capture hook — are remembered and served
+// eagerly (under InferenceModeGuard) without re-trying every call. A
+// SIMD backend switch invalidates cached plans via the plan guard; the
+// wrapper then recaptures.
+//
+// Contract inherited from ExecutionPlan: the model must be frozen (plans
+// pin parameter values at capture time) and the returned tensor of a
+// planned call is overwritten by the next one.
+#ifndef FOCUS_CORE_PLANNED_FORECASTER_H_
+#define FOCUS_CORE_PLANNED_FORECASTER_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/forecast_model.h"
+#include "plan/plan.h"
+
+namespace focus {
+namespace core {
+
+class PlannedForecaster {
+ public:
+  explicit PlannedForecaster(ForecastModel* model,
+                             plan::Options opts = {});
+
+  // Planned when a plan exists or can be captured for x's shape;
+  // eager (inference-mode) otherwise.
+  Tensor Forward(const Tensor& x);
+
+  // Whether the last Forward() ran on a compiled plan.
+  bool last_was_planned() const { return last_was_planned_; }
+
+  // The cached plan for `shape`, or nullptr (none yet / capture failed).
+  const plan::ExecutionPlan* plan_for(const Shape& shape) const;
+
+ private:
+  ForecastModel* model_;  // not owned; must outlive the wrapper
+  plan::Options opts_;
+  std::vector<std::pair<Shape, std::unique_ptr<plan::ExecutionPlan>>>
+      plans_;
+  std::vector<Shape> failed_shapes_;
+  bool last_was_planned_ = false;
+};
+
+}  // namespace core
+}  // namespace focus
+
+#endif  // FOCUS_CORE_PLANNED_FORECASTER_H_

@@ -1,12 +1,15 @@
 #include "core/proto_attn.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "cluster/segment_clustering.h"
 #include "obs/trace.h"
 #include "tensor/flops.h"
 #include "tensor/ops.h"
+#include "tensor/plan_hooks.h"
 
 namespace focus {
 namespace core {
@@ -92,6 +95,53 @@ Tensor ProtoAttn::Forward(const Tensor& tokens_raw, const Tensor& tokens_emb) {
     }
   }
   last_assignment_ = a;
+  if (plan_hooks::CaptureActive()) {
+    // A is built by value-DEPENDENT raw writes, so without this step a
+    // capture would pin one assignment pattern as a constant. The
+    // closure recomputes AssignTokens' serial z-norm + argmin sweep
+    // from the live token buffer — same accumulation order, same bits.
+    // Member diagnostics (last_assignment_/last_attention_) are NOT
+    // replayed by plans.
+    Tensor protos = prototypes_.Detach();
+    const float alpha = alpha_;
+    const int64_t p = prototypes_.size(1);
+    plan_hooks::Record(
+        plan_hooks::StepKind::kOpaque, "ProtoAssign", {tokens_raw}, a,
+        [protos, alpha, b, l, k, p](float* const* bufs) {
+          const float* raw = bufs[0];
+          float* pa = bufs[1];
+          std::fill_n(pa, b * l * k, 0.0f);
+          std::vector<float> shape(static_cast<size_t>(p));
+          const int64_t rows = b * l;
+          for (int64_t r = 0; r < rows; ++r) {
+            const float* seg = raw + r * p;
+            double mean = 0;
+            for (int64_t d = 0; d < p; ++d) mean += seg[d];
+            mean /= p;
+            double var = 0;
+            for (int64_t d = 0; d < p; ++d) {
+              var += (seg[d] - mean) * (seg[d] - mean);
+            }
+            const float inv_std =
+                1.0f / (static_cast<float>(std::sqrt(var / p)) + 1e-4f);
+            for (int64_t d = 0; d < p; ++d) {
+              shape[static_cast<size_t>(d)] =
+                  (seg[d] - static_cast<float>(mean)) * inv_std;
+            }
+            float best = std::numeric_limits<float>::max();
+            int64_t best_j = 0;
+            for (int64_t j = 0; j < k; ++j) {
+              const float dist = cluster::CompositeDistance(
+                  shape.data(), protos.data() + j * p, p, alpha);
+              if (dist < best) {
+                best = dist;
+                best_j = j;
+              }
+            }
+            pa[r * k + best_j] = 1.0f;
+          }
+        });
+  }
 
   // Projections (Eq. 14).
   Tensor c_emb = embed_->Forward(prototypes_);  // (k, d)

@@ -112,7 +112,9 @@ metrics::ForecastMetrics EvaluateModel(ForecastModel& model,
   Stopwatch timer;
   const bool was_training = model.training();
   model.SetTraining(false);
-  NoGradGuard no_grad;
+  // Inference mode: evaluation must neither build tape nodes nor
+  // allocate gradient buffers (MakeResult asserts the former).
+  InferenceModeGuard inference;
   metrics::ForecastMetrics metrics;
   int64_t windows_evaluated = 0;
   std::vector<int64_t> indices;

@@ -46,7 +46,10 @@ EfficiencyReport ProbeEfficiency(ForecastModel& model, const Tensor& sample) {
   const bool was_training = model.training();
   model.SetTraining(false);
   {
-    NoGradGuard no_grad;
+    // Inference mode (not just no-grad): the probe measures the
+    // inference path, which must neither build tape nodes nor allocate
+    // gradient buffers — MakeResult asserts the former.
+    InferenceModeGuard inference;
     MemoryStats::ResetPeak();
     FlopCounter::Reset();
     Stopwatch timer;

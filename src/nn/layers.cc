@@ -55,6 +55,10 @@ Dropout::Dropout(float p, Rng& rng) : p_(p), rng_(rng.Fork()) {
 }
 
 Tensor Dropout::Forward(const Tensor& x) {
+  // An inference pass never drops units, whatever the training flag
+  // says — and a plan capture must not bake one random mask into the
+  // compiled program as a constant.
+  if (InferenceMode::IsEnabled()) return x;
   if (!training() || p_ == 0.0f) return x;
   // Inverted dropout mask; the mask is a constant wrt autograd.
   Tensor mask = Tensor::Empty(x.shape());

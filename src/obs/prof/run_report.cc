@@ -43,6 +43,7 @@ void AppendRowJson(std::string& out, const RunReportRow& row) {
   out += ",\"instructions\":" + std::to_string(row.instructions);
   out += ",\"cache_misses\":" + std::to_string(row.cache_misses);
   out += ",\"branch_misses\":" + std::to_string(row.branch_misses);
+  out += ",\"planned\":" + std::to_string(row.planned);
   out += ",\"gflops\":" + FormatDouble(row.gflops);
   out += ",\"arith_intensity\":" + FormatDouble(row.arith_intensity);
   out += ",\"ipc\":" + FormatDouble(row.ipc);
@@ -62,10 +63,11 @@ void AppendRowsJson(std::string& out, const char* key,
 }
 
 Table RowsTable(const std::vector<RunReportRow>& rows) {
-  Table table({"Span", "Count", "Wall(ms)", "FLOPs(M)", "GFLOP/s",
-               "Bytes(MB)", "AI(F/B)", "IPC"});
+  Table table({"Span", "Count", "Planned", "Wall(ms)", "FLOPs(M)",
+               "GFLOP/s", "Bytes(MB)", "AI(F/B)", "IPC"});
   for (const RunReportRow& row : rows) {
     table.AddRow({row.name, std::to_string(row.count),
+                  std::to_string(row.planned),
                   Table::Num(static_cast<double>(row.wall_us) / 1e3, 2),
                   Table::Num(static_cast<double>(row.flops) / 1e6, 2),
                   Table::Num(row.gflops, 2),
@@ -164,6 +166,7 @@ RunReport BuildRunReport(const std::vector<SpanEvent>& events, int top_n) {
     row.instructions = stats.instructions;
     row.cache_misses = stats.cache_misses;
     row.branch_misses = stats.branch_misses;
+    row.planned = stats.planned;
     row.gflops = AchievedGflops(stats);
     row.arith_intensity = ArithmeticIntensity(stats);
     row.ipc = Ipc(stats);

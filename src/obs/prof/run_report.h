@@ -58,6 +58,9 @@ struct RunReportRow {
   int64_t instructions = 0;
   int64_t cache_misses = 0;
   int64_t branch_misses = 0;
+  // How many of the aggregated events ran on a compiled execution plan
+  // (src/plan); count == planned means the span is fully planned.
+  int64_t planned = 0;
   double gflops = 0.0;
   double arith_intensity = 0.0;
   double ipc = 0.0;

@@ -100,6 +100,8 @@ void AppendSpanArgs(std::string& out, const SpanEvent& ev) {
   out += ",\"alloc_bytes\":" + std::to_string(ev.alloc_bytes);
   out += ",\"wall_us\":" + std::to_string(ev.wall_us);
   out += ",\"depth\":" + std::to_string(ev.depth);
+  out += ",\"planned\":";
+  out += ev.planned ? "true" : "false";
   // Roofline attribution (obs/prof): achieved GFLOP/s over the span's
   // wall-clock, and arithmetic intensity against the span's logical byte
   // traffic. Always emitted — they derive from fields recorded above.
@@ -252,6 +254,7 @@ std::vector<std::pair<std::string, SpanStats>> AggregateSpans(
     stats->instructions += ev.instructions;
     stats->cache_misses += ev.cache_misses;
     stats->branch_misses += ev.branch_misses;
+    stats->planned += ev.planned ? 1 : 0;
   }
   return out;
 }
@@ -363,6 +366,7 @@ TraceSpan::TraceSpan(const char* name, Options options) : name_(name) {
   if (!TracingEnabled()) return;
   active_ = true;
   counts_toward_parent_ = options.counts_toward_parent;
+  planned_ = options.planned;
   ThreadState& state = State();
   depth_ = static_cast<int32_t>(state.stack.size());
   state.stack.push_back(this);
@@ -412,6 +416,7 @@ TraceSpan::~TraceSpan() {
   SpanEvent event;
   event.name = name_;
   event.depth = depth_;
+  event.planned = planned_;
   event.ts_us = start_ts_us_;
   event.wall_us = end_ts - start_ts_us_;
   event.flops = inclusive_flops;

@@ -66,6 +66,9 @@ struct SpanEvent {
   int64_t instructions = 0;
   int64_t cache_misses = 0;
   int64_t branch_misses = 0;
+  // True when the span ran on a compiled execution plan (src/plan)
+  // rather than the eager op-by-op path.
+  bool planned = false;
 };
 
 // Per-name aggregate over a set of events, in first-use order.
@@ -83,6 +86,7 @@ struct SpanStats {
   int64_t instructions = 0;  // summed
   int64_t cache_misses = 0;   // summed
   int64_t branch_misses = 0;  // summed
+  int64_t planned = 0;        // count of events with planned=true
 };
 std::vector<std::pair<std::string, SpanStats>> AggregateSpans(
     const std::vector<SpanEvent>& events);
@@ -151,6 +155,9 @@ class TraceSpan {
     // self-FLOPs. Sampled kernel spans set false: they are observations of
     // a fraction of the work and must not perturb component attribution.
     bool counts_toward_parent = true;
+    // Marks the span as planned execution (src/plan replay); surfaces
+    // in exports and the run-report `planned` column.
+    bool planned = false;
   };
 
   explicit TraceSpan(const char* name) : TraceSpan(name, Options{}) {}
@@ -165,6 +172,7 @@ class TraceSpan {
   bool region_set_ = false;
   bool active_ = false;
   bool counts_toward_parent_ = true;
+  bool planned_ = false;
   int32_t depth_ = 0;
   int64_t start_ts_us_ = 0;
   int64_t start_flops_ = 0;

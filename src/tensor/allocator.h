@@ -105,6 +105,52 @@ class Allocator {
   Allocator() = default;
 };
 
+// RAII lease on one allocator buffer held across many uses — the backing
+// store for an execution plan's memory slab (src/plan). The slab is
+// allocated once at plan-compile time and sub-divided by the plan's
+// lifetime solver; steady-state plan execution therefore makes zero
+// Allocate/Deallocate calls. Only src/plan derives pointers into the
+// leased range (enforced by scripts/focus_lint.py).
+class SlabLease {
+ public:
+  SlabLease() = default;
+  explicit SlabLease(int64_t numel)
+      : data_(numel > 0 ? Allocator::Get().Allocate(numel) : nullptr),
+        numel_(numel) {}
+  ~SlabLease() { reset(); }
+
+  SlabLease(SlabLease&& other) noexcept
+      : data_(other.data_), numel_(other.numel_) {
+    other.data_ = nullptr;
+    other.numel_ = 0;
+  }
+  SlabLease& operator=(SlabLease&& other) noexcept {
+    if (this != &other) {
+      reset();
+      data_ = other.data_;
+      numel_ = other.numel_;
+      other.data_ = nullptr;
+      other.numel_ = 0;
+    }
+    return *this;
+  }
+  SlabLease(const SlabLease&) = delete;
+  SlabLease& operator=(const SlabLease&) = delete;
+
+  void reset() {
+    if (data_ != nullptr) Allocator::Get().Deallocate(data_, numel_);
+    data_ = nullptr;
+    numel_ = 0;
+  }
+
+  float* data() const { return data_; }
+  int64_t numel() const { return numel_; }
+
+ private:
+  float* data_ = nullptr;
+  int64_t numel_ = 0;
+};
+
 }  // namespace focus
 
 #endif  // FOCUS_TENSOR_ALLOCATOR_H_

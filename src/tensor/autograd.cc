@@ -5,6 +5,7 @@
 
 #include "tensor/debug_guard.h"
 #include "tensor/ops.h"
+#include "tensor/plan_hooks.h"
 
 namespace focus {
 namespace autograd {
@@ -16,6 +17,13 @@ Tensor MakeResult(Tensor out, std::string name, std::vector<Tensor> inputs,
   // all of ops_*.cc. Runs before the grad-mode early-outs so inference and
   // backward-internal ops are covered too.
   debug::CheckFiniteOutput(out, name);
+  // Plan capture validation: every op output must already be known to
+  // the sink (recorded by the op site, or an alias of a known buffer).
+  // An unknown output means an uninstrumented op ran; the sink marks
+  // the capture failed and the caller stays on the eager path.
+  if (plan_hooks::CaptureActive()) {
+    plan_hooks::NotifyResult(name.c_str(), out);
+  }
   if (!GradMode::IsEnabled()) return out;
   bool any_requires = false;
   for (const Tensor& in : inputs) {
@@ -26,6 +34,11 @@ Tensor MakeResult(Tensor out, std::string name, std::vector<Tensor> inputs,
   }
   if (!any_requires) return out;
 
+  // Inference mode promises a tape-free forward; reaching the node
+  // constructor under it means GradMode was re-enabled inside an
+  // inference scope on a grad-requiring input — a contract violation.
+  FOCUS_CHECK(!InferenceMode::IsEnabled())
+      << "op '" << name << "' would create a tape node under InferenceMode";
   auto node = std::make_shared<Node>(std::move(name), std::move(inputs),
                                      std::move(backward));
   node->set_output(out.impl());

@@ -24,6 +24,7 @@
 #include "tensor/flops.h"
 #include "tensor/ops.h"
 #include "tensor/ops_common.h"
+#include "tensor/plan_hooks.h"
 #include "tensor/profile_hooks.h"
 #include "tensor/simd/vec.h"
 
@@ -95,6 +96,58 @@ Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias,
       }
     });
     FlopCounter::Add(2 * B * Cout * Lout * Cin * K);
+  }
+  if (plan_hooks::CaptureActive()) {
+    // Replays the zero-init + bias-fill + tap loop above verbatim. The
+    // eager path gets its zero start from Tensor::Zeros; the replay
+    // buffer is recycled slab memory, so the closure zero-fills rows
+    // itself when there is no bias to overwrite them.
+    const bool rec_bias = bias.defined();
+    std::vector<Tensor> ins = rec_bias
+                                  ? std::vector<Tensor>{x, w, bias}
+                                  : std::vector<Tensor>{x, w};
+    plan_hooks::Record(
+        plan_hooks::StepKind::kOpaque, "Conv1d", std::move(ins), out,
+        [rec_bias, B, Cin, L, Cout, K, Lout, stride, padding,
+         dilation](float* const* bufs) {
+          const float* px = bufs[0];
+          const float* pw = bufs[1];
+          const float* pb = rec_bias ? bufs[2] : nullptr;
+          float* po = bufs[rec_bias ? 3 : 2];
+          const simd::KernelTable& kt = simd::Kernels();
+          ParallelFor(0, B * Cout, 1, [&](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r) {
+              const int64_t b = r / Cout, co = r % Cout;
+              float* orow = po + r * Lout;
+              if (pb != nullptr) {
+                const float bv = pb[co];
+                for (int64_t lo = 0; lo < Lout; ++lo) orow[lo] = bv;
+              } else {
+                std::memset(orow, 0, sizeof(float) * Lout);
+              }
+              for (int64_t ci = 0; ci < Cin; ++ci) {
+                const float* xrow = px + (b * Cin + ci) * L;
+                const float* wrow = pw + (co * Cin + ci) * K;
+                for (int64_t kk = 0; kk < K; ++kk) {
+                  const float wv = wrow[kk];
+                  const int64_t base = kk * dilation - padding;
+                  if (stride == 1) {
+                    int64_t lo0, lo1;
+                    ValidRange(base, L, Lout, &lo0, &lo1);
+                    if (lo1 > lo0)
+                      kt.axpy(wv, xrow + lo0 + base, orow + lo0,
+                              lo1 - lo0);
+                  } else {
+                    for (int64_t lo = 0; lo < Lout; ++lo) {
+                      const int64_t li = lo * stride + base;
+                      if (li >= 0 && li < L) orow[lo] += wv * xrow[li];
+                    }
+                  }
+                }
+              }
+            }
+          });
+        });
   }
 
   Tensor xd = x.Detach(), wd = w.Detach();

@@ -14,6 +14,7 @@
 #include "tensor/flops.h"
 #include "tensor/ops.h"
 #include "tensor/ops_common.h"
+#include "tensor/plan_hooks.h"
 #include "tensor/simd/vec.h"
 
 namespace focus {
@@ -31,8 +32,10 @@ using UnK = void (*)(const float*, float*, int64_t);
 using BwdKMember = BinK simd::KernelTable::*;
 
 // Minimum elements per shard: below this, pool dispatch costs more than the
-// arithmetic it spreads.
-constexpr int64_t kElemGrain = 16384;
+// arithmetic it spreads. Shared with the plan compiler (plan_hooks.h) so
+// fused sweeps shard exactly like the eager ops they replace.
+using plan_hooks::kElemGrain;
+using plan_hooks::StepKind;
 
 // Applies `f` elementwise with NumPy broadcasting. The equal-shape fast
 // path — the overwhelmingly common case — runs through the SIMD kernel
@@ -40,7 +43,8 @@ constexpr int64_t kElemGrain = 16384;
 // boundaries cannot change results. The broadcast path stays scalar
 // (`f`): its gather indexing defeats contiguous vector loads.
 template <typename F>
-Tensor BinaryKernel(const Tensor& a, const Tensor& b, BinK kern, F f) {
+Tensor BinaryKernel(const Tensor& a, const Tensor& b, const char* name,
+                    StepKind kind, BinK kern, F f) {
   if (a.shape() == b.shape()) {
     Tensor out = Tensor::Empty(a.shape());
     const float* pa = a.data();
@@ -51,6 +55,17 @@ Tensor BinaryKernel(const Tensor& a, const Tensor& b, BinK kern, F f) {
       kern(pa + i0, pb + i0, po + i0, i1 - i0);
     });
     FlopCounter::Add(n);
+    if (plan_hooks::CaptureActive()) {
+      plan_hooks::Record(
+          kind, name, {a, b}, out, [kern, n](float* const* bufs) {
+            const float* ra = bufs[0];
+            const float* rb = bufs[1];
+            float* ro = bufs[2];
+            ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
+              kern(ra + i0, rb + i0, ro + i0, i1 - i0);
+            });
+          });
+    }
     return out;
   }
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
@@ -76,6 +91,57 @@ Tensor BinaryKernel(const Tensor& a, const Tensor& b, BinK kern, F f) {
     }
   });
   FlopCounter::Add(n);
+  if (plan_hooks::CaptureActive()) {
+    // Broadcast gather path: no fusion rule applies (kOpaque). The eager
+    // loop above pays a rank-long div walk per element; the replay pays
+    // it once per output row and sweeps the innermost dimension as a
+    // contiguous run. Every element is still one application of the same
+    // correctly-rounded op (the SIMD `kern` lanes compute the identical
+    // IEEE add/sub/mul/div as scalar `f`), so the restructuring cannot
+    // change a single output bit.
+    //
+    // Innermost read strides are always 0 (that dim broadcasts) or 1
+    // (natural stride of a trailing dim), which yields four row shapes:
+    // vec-vec, vec-scalar, scalar-vec, and scalar-scalar.
+    const int64_t m = rank > 0 ? out_shape.back() : 1;
+    const int64_t ta = rank > 0 ? sa[static_cast<size_t>(rank - 1)] : 1;
+    const int64_t tb = rank > 0 ? sb[static_cast<size_t>(rank - 1)] : 1;
+    plan_hooks::Record(
+        StepKind::kOpaque, name, {a, b}, out,
+        [sa, sb, so, n, rank, m, ta, tb, kern, f](float* const* bufs) {
+          const float* ra = bufs[0];
+          const float* rb = bufs[1];
+          float* ro = bufs[2];
+          const int64_t rows = n / m;
+          ParallelFor(
+              0, rows, plan_hooks::RowGrain(m), [&](int64_t r0, int64_t r1) {
+                for (int64_t row = r0; row < r1; ++row) {
+                  int64_t rem = row * m, oa = 0, ob = 0;
+                  for (int64_t d = 0; d + 1 < rank; ++d) {
+                    const int64_t idx = rem / so[d];
+                    rem -= idx * so[d];
+                    oa += idx * sa[d];
+                    ob += idx * sb[d];
+                  }
+                  const float* pa = ra + oa;
+                  const float* pb = rb + ob;
+                  float* o = ro + row * m;
+                  if (ta == 1 && tb == 1) {
+                    kern(pa, pb, o, m);
+                  } else if (ta == 1) {
+                    const float s = *pb;
+                    for (int64_t j = 0; j < m; ++j) o[j] = f(pa[j], s);
+                  } else if (tb == 1) {
+                    const float s = *pa;
+                    for (int64_t j = 0; j < m; ++j) o[j] = f(s, pb[j]);
+                  } else {
+                    const float v = f(*pa, *pb);
+                    for (int64_t j = 0; j < m; ++j) o[j] = v;
+                  }
+                }
+              });
+        });
+  }
   return out;
 }
 
@@ -92,6 +158,16 @@ Tensor UnaryOp(const Tensor& x, const char* name,
     for (int64_t i = i0; i < i1; ++i) po[i] = f(px[i]);
   });
   FlopCounter::Add(2 * n);
+  if (plan_hooks::CaptureActive()) {
+    plan_hooks::Record(
+        StepKind::kOpaque, name, {x}, out, [f, n](float* const* bufs) {
+          const float* rx = bufs[0];
+          float* ro = bufs[1];
+          ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i) ro[i] = f(rx[i]);
+          });
+        });
+  }
 
   Tensor x_saved = x.Detach();
   Tensor y_saved = out.Detach();
@@ -118,8 +194,8 @@ Tensor UnaryOp(const Tensor& x, const char* name,
 // backward through a table *member* (re-resolved at backward time).
 // The backward kernel receives the saved tensor — the input x or the
 // output y, whichever `save_input` picks — plus the incoming gradient.
-Tensor RoutedUnary(const Tensor& x, const char* name, UnK fwd,
-                   BwdKMember bwd, bool save_input) {
+Tensor RoutedUnary(const Tensor& x, const char* name, StepKind kind,
+                   UnK fwd, BwdKMember bwd, bool save_input) {
   Tensor out = Tensor::Empty(x.shape());
   const float* px = x.data();
   float* po = out.data();
@@ -128,6 +204,16 @@ Tensor RoutedUnary(const Tensor& x, const char* name, UnK fwd,
     fwd(px + i0, po + i0, i1 - i0);
   });
   FlopCounter::Add(2 * n);
+  if (plan_hooks::CaptureActive()) {
+    plan_hooks::Record(
+        kind, name, {x}, out, [fwd, n](float* const* bufs) {
+          const float* rx = bufs[0];
+          float* ro = bufs[1];
+          ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
+            fwd(rx + i0, ro + i0, i1 - i0);
+          });
+        });
+  }
 
   Tensor saved = save_input ? x.Detach() : out.Detach();
   return autograd::MakeResult(
@@ -152,7 +238,8 @@ Tensor RoutedUnary(const Tensor& x, const char* name, UnK fwd,
 Tensor Add(const Tensor& a, const Tensor& b) {
   FOCUS_OP_INPUT_CHECK("Add", a);
   FOCUS_OP_INPUT_CHECK("Add", b);
-  Tensor out = BinaryKernel(a, b, simd::Kernels().add,
+  Tensor out = BinaryKernel(a, b, "Add", StepKind::kAdd,
+                            simd::Kernels().add,
                             [](float x, float y) { return x + y; });
   Shape sa = a.shape(), sb = b.shape();
   return autograd::MakeResult(
@@ -164,7 +251,8 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 Tensor Sub(const Tensor& a, const Tensor& b) {
   FOCUS_OP_INPUT_CHECK("Sub", a);
   FOCUS_OP_INPUT_CHECK("Sub", b);
-  Tensor out = BinaryKernel(a, b, simd::Kernels().sub,
+  Tensor out = BinaryKernel(a, b, "Sub", StepKind::kOpaque,
+                            simd::Kernels().sub,
                             [](float x, float y) { return x - y; });
   Shape sa = a.shape(), sb = b.shape();
   return autograd::MakeResult(
@@ -177,7 +265,8 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 Tensor Mul(const Tensor& a, const Tensor& b) {
   FOCUS_OP_INPUT_CHECK("Mul", a);
   FOCUS_OP_INPUT_CHECK("Mul", b);
-  Tensor out = BinaryKernel(a, b, simd::Kernels().mul,
+  Tensor out = BinaryKernel(a, b, "Mul", StepKind::kOpaque,
+                            simd::Kernels().mul,
                             [](float x, float y) { return x * y; });
   Tensor ad = a.Detach(), bd = b.Detach();
   return autograd::MakeResult(
@@ -191,7 +280,8 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 Tensor Div(const Tensor& a, const Tensor& b) {
   FOCUS_OP_INPUT_CHECK("Div", a);
   FOCUS_OP_INPUT_CHECK("Div", b);
-  Tensor out = BinaryKernel(a, b, simd::Kernels().div,
+  Tensor out = BinaryKernel(a, b, "Div", StepKind::kOpaque,
+                            simd::Kernels().div,
                             [](float x, float y) { return x / y; });
   Tensor ad = a.Detach(), bd = b.Detach();
   return autograd::MakeResult(
@@ -210,10 +300,23 @@ Tensor AddScalar(const Tensor& x, float s) {
   const float* px = x.data();
   float* po = out.data();
   const auto kern = simd::Kernels().add_scalar;
-  ParallelFor(0, x.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+  const int64_t n = x.numel();
+  ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
     kern(px + i0, s, po + i0, i1 - i0);
   });
-  FlopCounter::Add(x.numel());
+  FlopCounter::Add(n);
+  if (plan_hooks::CaptureActive()) {
+    plan_hooks::Record(
+        StepKind::kAddScalar, "AddScalar", {x}, out,
+        [kern, s, n](float* const* bufs) {
+          const float* rx = bufs[0];
+          float* ro = bufs[1];
+          ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
+            kern(rx + i0, s, ro + i0, i1 - i0);
+          });
+        },
+        s);
+  }
   return autograd::MakeResult(
       out, "AddScalar", {x},
       [](const Tensor& g) -> std::vector<Tensor> { return {g.Clone()}; });
@@ -225,10 +328,23 @@ Tensor MulScalar(const Tensor& x, float s) {
   const float* px = x.data();
   float* po = out.data();
   const auto kern = simd::Kernels().mul_scalar;
-  ParallelFor(0, x.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+  const int64_t n = x.numel();
+  ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
     kern(px + i0, s, po + i0, i1 - i0);
   });
-  FlopCounter::Add(x.numel());
+  FlopCounter::Add(n);
+  if (plan_hooks::CaptureActive()) {
+    plan_hooks::Record(
+        StepKind::kMulScalar, "MulScalar", {x}, out,
+        [kern, s, n](float* const* bufs) {
+          const float* rx = bufs[0];
+          float* ro = bufs[1];
+          ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
+            kern(rx + i0, s, ro + i0, i1 - i0);
+          });
+        },
+        s);
+  }
   return autograd::MakeResult(
       out, "MulScalar", {x}, [s](const Tensor& g) -> std::vector<Tensor> {
         NoGradGuard no_grad;
@@ -254,7 +370,7 @@ Tensor Exp(const Tensor& x) {
   FOCUS_OP_INPUT_CHECK("Exp", x);
   // d/dx exp = exp(x) = y, so the backward is just y * g: the plain
   // elementwise-multiply table kernel.
-  return RoutedUnary(x, "Exp", simd::Kernels().exp_fwd,
+  return RoutedUnary(x, "Exp", StepKind::kOpaque, simd::Kernels().exp_fwd,
                      &simd::KernelTable::mul, /*save_input=*/false);
 }
 
@@ -267,13 +383,13 @@ Tensor Log(const Tensor& x) {
 
 Tensor Sqrt(const Tensor& x) {
   FOCUS_OP_INPUT_CHECK("Sqrt", x);
-  return RoutedUnary(x, "Sqrt", simd::Kernels().sqrt_fwd,
+  return RoutedUnary(x, "Sqrt", StepKind::kSqrt, simd::Kernels().sqrt_fwd,
                      &simd::KernelTable::sqrt_bwd, /*save_input=*/false);
 }
 
 Tensor Erf(const Tensor& x) {
   FOCUS_OP_INPUT_CHECK("Erf", x);
-  return RoutedUnary(x, "Erf", simd::Kernels().erf_fwd,
+  return RoutedUnary(x, "Erf", StepKind::kOpaque, simd::Kernels().erf_fwd,
                      &simd::KernelTable::erf_bwd, /*save_input=*/true);
 }
 
@@ -286,7 +402,7 @@ Tensor Abs(const Tensor& x) {
 
 Tensor Relu(const Tensor& x) {
   FOCUS_OP_INPUT_CHECK("Relu", x);
-  return RoutedUnary(x, "Relu", simd::Kernels().relu_fwd,
+  return RoutedUnary(x, "Relu", StepKind::kOpaque, simd::Kernels().relu_fwd,
                      &simd::KernelTable::relu_bwd, /*save_input=*/true);
 }
 
@@ -294,20 +410,21 @@ Tensor Gelu(const Tensor& x) {
   FOCUS_OP_INPUT_CHECK("Gelu", x);
   // tanh approximation: 0.5 x (1 + tanh(c (x + 0.044715 x^3))),
   // c = sqrt(2/pi); the polynomial tanh lives in the SIMD layer.
-  return RoutedUnary(x, "Gelu", simd::Kernels().gelu_fwd,
+  return RoutedUnary(x, "Gelu", StepKind::kGelu, simd::Kernels().gelu_fwd,
                      &simd::KernelTable::gelu_bwd, /*save_input=*/true);
 }
 
 Tensor Sigmoid(const Tensor& x) {
   FOCUS_OP_INPUT_CHECK("Sigmoid", x);
-  return RoutedUnary(x, "Sigmoid", simd::Kernels().sigmoid_fwd,
+  return RoutedUnary(x, "Sigmoid", StepKind::kSigmoid,
+                     simd::Kernels().sigmoid_fwd,
                      &simd::KernelTable::sigmoid_bwd,
                      /*save_input=*/false);
 }
 
 Tensor Tanh(const Tensor& x) {
   FOCUS_OP_INPUT_CHECK("Tanh", x);
-  return RoutedUnary(x, "Tanh", simd::Kernels().tanh_fwd,
+  return RoutedUnary(x, "Tanh", StepKind::kOpaque, simd::Kernels().tanh_fwd,
                      &simd::KernelTable::tanh_bwd, /*save_input=*/false);
 }
 
@@ -336,6 +453,8 @@ void AddInPlace(Tensor& a, const Tensor& b) {
       << "AddInPlace shape mismatch: " << ShapeToString(a.shape()) << " vs "
       << ShapeToString(b.shape());
   debug::CheckInPlaceNoAlias(a, b, "AddInPlace");
+  // In-place mutation breaks the plan IR's single-assignment model.
+  if (plan_hooks::CaptureActive()) plan_hooks::NotifyUnsupported("AddInPlace");
   float* pa = a.data();
   const float* pb = b.data();
   const int64_t n = a.numel();

@@ -16,6 +16,7 @@
 #include "tensor/flops.h"
 #include "tensor/ops.h"
 #include "tensor/ops_common.h"
+#include "tensor/plan_hooks.h"
 #include "tensor/profile_hooks.h"
 #include "tensor/simd/vec.h"
 
@@ -97,6 +98,16 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     // the parallel region: the executed work is 2·batch·m·n·k regardless of
     // which operand (if either) broadcasts its batch dimension.
     FlopCounter::Add(2 * d.batch * d.m * d.n * d.k);
+  }
+  if (plan_hooks::CaptureActive()) {
+    // MatMulKernel re-resolves the row-block kernel from the active
+    // table at replay time; the plan guard pins the backend.
+    plan_hooks::Record(plan_hooks::StepKind::kOpaque, "MatMul", {a, b},
+                       out, [d](float* const* bufs) {
+                         MatMulKernel(bufs[0], bufs[1], bufs[2], d.batch,
+                                      d.batch_a, d.batch_b, d.m, d.k,
+                                      d.n);
+                       });
   }
 
   Tensor ad = a.Detach(), bd = b.Detach();

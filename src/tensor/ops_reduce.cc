@@ -17,6 +17,7 @@
 #include "tensor/flops.h"
 #include "tensor/ops.h"
 #include "tensor/ops_common.h"
+#include "tensor/plan_hooks.h"
 #include "tensor/simd/vec.h"
 
 namespace focus {
@@ -33,6 +34,15 @@ Tensor SumAll(const Tensor& x) {
   for (int64_t i = 0; i < n; ++i) acc += px[i];
   FlopCounter::Add(n);
   Tensor out = Tensor::Scalar(static_cast<float>(acc));
+  if (plan_hooks::CaptureActive()) {
+    plan_hooks::Record(plan_hooks::StepKind::kOpaque, "SumAll", {x}, out,
+                       [n](float* const* bufs) {
+                         const float* rx = bufs[0];
+                         double racc = 0.0;
+                         for (int64_t i = 0; i < n; ++i) racc += rx[i];
+                         bufs[1][0] = static_cast<float>(racc);
+                       });
+  }
   Shape xs = x.shape();
   return autograd::MakeResult(
       out, "SumAll", {x}, [xs](const Tensor& g) -> std::vector<Tensor> {
@@ -129,6 +139,64 @@ Tensor Sum(const Tensor& x, int64_t dim, bool keepdim) {
     });
   }
   FlopCounter::Add(x.numel());
+  if (plan_hooks::CaptureActive()) {
+    const auto row_sum = kt.row_sum;
+    const auto add_inplace = kt.add_inplace;
+    const int64_t out_numel = out.numel();
+    plan_hooks::Record(
+        plan_hooks::StepKind::kOpaque, "Sum", {x}, out,
+        [row_sum, add_inplace, outer, inner, reduce,
+         out_numel](float* const* bufs) {
+          const float* rx = bufs[0];
+          float* ro = bufs[1];
+          if (reduce == 0) {
+            std::fill_n(ro, out_numel, 0.0f);
+          } else if (inner == 1) {
+            const int64_t grain =
+                std::max<int64_t>(1, 16384 / std::max<int64_t>(1, reduce));
+            ParallelFor(0, outer, grain, [&](int64_t o0, int64_t o1) {
+              for (int64_t o = o0; o < o1; ++o) {
+                ro[o] = row_sum(rx + o * reduce, reduce);
+              }
+            });
+          } else if (outer >= inner) {
+            const int64_t grain = std::max<int64_t>(
+                1, 16384 / std::max<int64_t>(1, reduce * inner));
+            ParallelFor(0, outer, grain, [&](int64_t o0, int64_t o1) {
+              for (int64_t o = o0; o < o1; ++o) {
+                float* orow = ro + o * inner;
+                for (int64_t r = 0; r < reduce; ++r) {
+                  const float* row = rx + (o * reduce + r) * inner;
+                  if (r == 0) {
+                    std::memcpy(orow, row,
+                                static_cast<size_t>(inner) * sizeof(float));
+                  } else {
+                    add_inplace(orow, row, inner);
+                  }
+                }
+              }
+            });
+          } else {
+            const int64_t grain = std::max<int64_t>(
+                1, 16384 / std::max<int64_t>(1, outer * reduce));
+            ParallelFor(0, inner, grain, [&](int64_t i0, int64_t i1) {
+              for (int64_t o = 0; o < outer; ++o) {
+                float* orow = ro + o * inner;
+                for (int64_t r = 0; r < reduce; ++r) {
+                  const float* row = rx + (o * reduce + r) * inner;
+                  if (r == 0) {
+                    std::memcpy(orow + i0, row + i0,
+                                static_cast<size_t>(i1 - i0) *
+                                    sizeof(float));
+                  } else {
+                    add_inplace(orow + i0, row + i0, i1 - i0);
+                  }
+                }
+              }
+            });
+          }
+        });
+  }
 
   Shape x_shape = xs;
   Shape keep_shape = xs;
@@ -150,7 +218,19 @@ Tensor Mean(const Tensor& x, int64_t dim, bool keepdim) {
 
 Tensor BroadcastTo(const Tensor& x, const Shape& shape) {
   FOCUS_OP_INPUT_CHECK("BroadcastTo", x);
-  if (x.shape() == shape) return x.Clone();
+  if (x.shape() == shape) {
+    Tensor copy = x.Clone();
+    if (plan_hooks::CaptureActive()) {
+      const int64_t n = x.numel();
+      plan_hooks::Record(plan_hooks::StepKind::kOpaque, "BroadcastTo",
+                         {x}, copy, [n](float* const* bufs) {
+                           std::memcpy(bufs[1], bufs[0],
+                                       static_cast<size_t>(n) *
+                                           sizeof(float));
+                         });
+    }
+    return copy;
+  }
   FOCUS_CHECK_LE(x.dim(), static_cast<int64_t>(shape.size()))
       << "BroadcastTo cannot reduce rank";
   Tensor out = Tensor::Empty(shape);
@@ -171,6 +251,25 @@ Tensor BroadcastTo(const Tensor& x, const Shape& shape) {
       po[flat] = px[ox];
     }
   });
+  if (plan_hooks::CaptureActive()) {
+    plan_hooks::Record(
+        plan_hooks::StepKind::kOpaque, "BroadcastTo", {x}, out,
+        [sx, so, n, rank](float* const* bufs) {
+          const float* rx = bufs[0];
+          float* ro = bufs[1];
+          ParallelFor(0, n, 4096, [&](int64_t f0, int64_t f1) {
+            for (int64_t flat = f0; flat < f1; ++flat) {
+              int64_t rem = flat, ox = 0;
+              for (int64_t d = 0; d < rank; ++d) {
+                const int64_t idx = rem / so[d];
+                rem -= idx * so[d];
+                ox += idx * sx[d];
+              }
+              ro[flat] = rx[ox];
+            }
+          });
+        });
+  }
 
   Shape xs = x.shape();
   return autograd::MakeResult(

@@ -3,9 +3,11 @@
 #include <cstring>
 #include <numeric>
 
+#include "parallel/thread_pool.h"
 #include "tensor/autograd.h"
 #include "tensor/ops.h"
 #include "tensor/ops_common.h"
+#include "tensor/plan_hooks.h"
 
 namespace focus {
 
@@ -77,6 +79,59 @@ Tensor Permute(const Tensor& x, const std::vector<int64_t>& dims) {
     po[flat] = px[off];
   }
 
+  if (plan_hooks::CaptureActive()) {
+    // Pure data movement: any traversal produces the identical bytes,
+    // so the replay closure may use a faster one. Every output row of
+    // `inner` floats reads the source at a fixed stride `stride_in`
+    // (the input stride of whichever axis lands last), so the div/mod
+    // walk runs once per row, the inner sweep is a plain strided copy —
+    // a memcpy when the permutation keeps the last axis — and rows are
+    // independent, so the copy also shards across the pool.
+    const int64_t inner = rank > 0 ? x.size(dims[static_cast<size_t>(rank - 1)])
+                                   : 1;
+    const int64_t stride_in =
+        rank > 0 ? in_strides[static_cast<size_t>(
+                       dims[static_cast<size_t>(rank - 1)])]
+                 : 1;
+    plan_hooks::Record(
+        plan_hooks::StepKind::kOpaque, "Permute", {x}, out,
+        [in_strides, out_strides, dims, rank, n, inner,
+         stride_in](float* const* bufs) {
+          const float* rx = bufs[0];
+          float* ro = bufs[1];
+          if (rank == 0) {
+            ro[0] = rx[0];
+            return;
+          }
+          const int64_t rows = n / inner;
+          ParallelFor(
+              0, rows, plan_hooks::RowGrain(inner),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t row = r0; row < r1; ++row) {
+                  int64_t rem = row * inner, off = 0;
+                  for (int64_t d = 0; d + 1 < rank; ++d) {
+                    const int64_t idx =
+                        rem / out_strides[static_cast<size_t>(d)];
+                    rem -= idx * out_strides[static_cast<size_t>(d)];
+                    off += idx *
+                           in_strides[static_cast<size_t>(
+                               dims[static_cast<size_t>(d)])];
+                  }
+                  float* o = ro + row * inner;
+                  const float* src = rx + off;
+                  if (stride_in == 1) {
+                    std::memcpy(o, src,
+                                static_cast<size_t>(inner) * sizeof(float));
+                  } else {
+                    for (int64_t j = 0; j < inner; ++j) {
+                      o[j] = src[j * stride_in];
+                    }
+                  }
+                }
+              });
+        });
+  }
+
   // Inverse permutation for backward.
   std::vector<int64_t> inverse(static_cast<size_t>(rank));
   for (int64_t d = 0; d < rank; ++d) {
@@ -124,6 +179,20 @@ Tensor Slice(const Tensor& x, int64_t dim, int64_t start, int64_t end) {
   for (int64_t o = 0; o < outer; ++o) {
     std::memcpy(po + o * len * inner, px + (o * size + start) * inner,
                 static_cast<size_t>(len * inner) * sizeof(float));
+  }
+
+  if (plan_hooks::CaptureActive()) {
+    plan_hooks::Record(
+        plan_hooks::StepKind::kOpaque, "Slice", {x}, out,
+        [outer, size, start, inner, len](float* const* bufs) {
+          const float* rx = bufs[0];
+          float* ro = bufs[1];
+          for (int64_t o = 0; o < outer; ++o) {
+            std::memcpy(ro + o * len * inner,
+                        rx + (o * size + start) * inner,
+                        static_cast<size_t>(len * inner) * sizeof(float));
+          }
+        });
   }
 
   Shape xs = x.shape();
@@ -182,6 +251,26 @@ Tensor Cat(const std::vector<Tensor>& tensors, int64_t dim) {
     offset += len;
   }
 
+  if (plan_hooks::CaptureActive()) {
+    plan_hooks::Record(
+        plan_hooks::StepKind::kOpaque, "Cat",
+        {tensors.begin(), tensors.end()}, out,
+        [sizes, outer, total, inner](float* const* bufs) {
+          float* ro = bufs[sizes.size()];
+          int64_t off = 0;
+          for (size_t t = 0; t < sizes.size(); ++t) {
+            const int64_t len = sizes[t];
+            const float* rt = bufs[t];
+            for (int64_t o = 0; o < outer; ++o) {
+              std::memcpy(ro + (o * total + off) * inner,
+                          rt + o * len * inner,
+                          static_cast<size_t>(len * inner) * sizeof(float));
+            }
+            off += len;
+          }
+        });
+  }
+
   return autograd::MakeResult(
       out, "Cat", {tensors.begin(), tensors.end()},
       [sizes, dim](const Tensor& g) -> std::vector<Tensor> {
@@ -222,6 +311,23 @@ Tensor IndexSelect(const Tensor& x, int64_t dim,
                   px + (o * size + indices[static_cast<size_t>(i)]) * inner,
                   static_cast<size_t>(inner) * sizeof(float));
     }
+  }
+
+  if (plan_hooks::CaptureActive()) {
+    plan_hooks::Record(
+        plan_hooks::StepKind::kOpaque, "IndexSelect", {x}, out,
+        [indices, size, outer, inner, len](float* const* bufs) {
+          const float* rx = bufs[0];
+          float* ro = bufs[1];
+          for (int64_t o = 0; o < outer; ++o) {
+            for (int64_t i = 0; i < len; ++i) {
+              std::memcpy(
+                  ro + (o * len + i) * inner,
+                  rx + (o * size + indices[static_cast<size_t>(i)]) * inner,
+                  static_cast<size_t>(inner) * sizeof(float));
+            }
+          }
+        });
   }
 
   Shape xs = x.shape();

@@ -18,15 +18,18 @@
 #include "tensor/flops.h"
 #include "tensor/ops.h"
 #include "tensor/ops_common.h"
+#include "tensor/plan_hooks.h"
 #include "tensor/profile_hooks.h"
 #include "tensor/simd/vec.h"
 
 namespace focus {
 
 namespace {
-// Rows are cheap for small n; shard only when a shard carries at least this
-// many scalar elements so pool dispatch never dominates.
-int64_t RowGrain(int64_t n) { return std::max<int64_t>(1, 4096 / (n + 1)); }
+// Rows are cheap for small n; shard only when a shard carries at least
+// this many scalar elements so pool dispatch never dominates. The grain
+// is shared with the plan compiler (plan_hooks.h) so fused row sweeps
+// shard exactly like the eager ops they replace.
+using plan_hooks::RowGrain;
 }  // namespace
 
 Tensor SoftmaxLastDim(const Tensor& x) {
@@ -44,6 +47,24 @@ Tensor SoftmaxLastDim(const Tensor& x) {
       rows_kern(px + r0 * n, po + r0 * n, r1 - r0, n);
     });
     FlopCounter::Add(5 * x.numel());
+  }
+  if (plan_hooks::CaptureActive()) {
+    plan_hooks::StepRecord rec;
+    rec.kind = plan_hooks::StepKind::kSoftmaxRows;
+    rec.name = "Softmax";
+    rec.inputs = {x};
+    rec.output = out;
+    rec.rows = rows;
+    rec.inner = n;
+    const auto rows_kern = simd::Kernels().softmax_rows;
+    rec.fn = [rows_kern, rows, n](float* const* bufs) {
+      const float* rx = bufs[0];
+      float* ro = bufs[1];
+      ParallelFor(0, rows, RowGrain(n), [&](int64_t r0, int64_t r1) {
+        rows_kern(rx + r0 * n, ro + r0 * n, r1 - r0, n);
+      });
+    };
+    plan_hooks::RecordStep(std::move(rec));
   }
 
   Tensor y_saved = out.Detach();
@@ -93,6 +114,30 @@ Tensor LayerNormLastDim(const Tensor& x, const Tensor& gamma,
                 prstds + r0, r1 - r0, n);
     });
     FlopCounter::Add(8 * x.numel());
+  }
+  if (plan_hooks::CaptureActive()) {
+    plan_hooks::StepRecord rec;
+    rec.kind = plan_hooks::StepKind::kOpaque;
+    rec.name = "LayerNorm";
+    rec.inputs = {x, gamma, beta};
+    rec.output = out;
+    // means/rstds live in per-step slab scratch at replay time (the
+    // plan has no backward pass to save them for).
+    rec.scratch_numels = {rows, rows};
+    const auto rows_kern = simd::Kernels().layernorm_rows;
+    rec.fn = [rows_kern, rows, n, eps](float* const* bufs) {
+      const float* rx = bufs[0];
+      const float* rgm = bufs[1];
+      const float* rbt = bufs[2];
+      float* ro = bufs[3];
+      float* rmeans = bufs[4];
+      float* rrstds = bufs[5];
+      ParallelFor(0, rows, RowGrain(n), [&](int64_t r0, int64_t r1) {
+        rows_kern(rx + r0 * n, rgm, rbt, eps, ro + r0 * n, rmeans + r0,
+                  rrstds + r0, r1 - r0, n);
+      });
+    };
+    plan_hooks::RecordStep(std::move(rec));
   }
 
   Tensor x_saved = x.Detach();

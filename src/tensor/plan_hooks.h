@@ -1,0 +1,131 @@
+// Capture hooks for tape-free execution plans (src/plan).
+//
+// When a plan capture is active (a CaptureSink is installed), every
+// instrumented op site in ops_*.cc records a StepRecord describing the
+// kernel launch it just performed: the op kind, its input/output
+// tensors, any scalar parameter, and a replay closure that re-runs the
+// *same* kernel sequence against caller-supplied raw buffers. The
+// closure captures resolved shapes, grains, and kernel pointers by
+// value — never the capture-time buffer addresses — so the plan
+// compiler can rebind it onto slab offsets and per-call input pointers.
+//
+// Because the closure is built at the op site from the very code the
+// eager path just executed, a plan replay performs the identical IEEE
+// operations in the identical order: bit-identity with eager holds by
+// construction, for both SIMD backends and any thread count.
+//
+// MakeResult() additionally notifies the sink of every op output; an
+// output the sink has never seen (an op without a record call, e.g.
+// Conv2d) marks the capture as failed, and the caller falls back to
+// eager execution permanently for that (model, shape). This makes
+// uninstrumented ops safe rather than silently wrong.
+//
+// All hooks are no-ops (one relaxed pointer load) when no sink is
+// installed. Captures are process-global and must not run concurrently.
+#ifndef FOCUS_TENSOR_PLAN_HOOKS_H_
+#define FOCUS_TENSOR_PLAN_HOOKS_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace focus {
+namespace plan_hooks {
+
+// Step classification the plan compiler fuses over. Anything without a
+// fusion rule is kOpaque; the replay closure alone defines what it does.
+enum class StepKind {
+  kOpaque,
+  kAdd,        // equal-shape elementwise add
+  kAddScalar,  // x + s
+  kMulScalar,  // x * s
+  kGelu,
+  kSigmoid,
+  kSqrt,
+  kSoftmaxRows,  // softmax over `rows` rows of length `inner`
+};
+
+// Replay closure: bufs holds one float* per recorded tensor, in the
+// order [inputs..., output, scratch...]. Buffers are distinct (plans
+// never alias step operands) and sized to the recorded numels.
+using StepFn = std::function<void(float* const* bufs)>;
+
+struct StepRecord {
+  StepKind kind = StepKind::kOpaque;
+  const char* name = "";  // static-lifetime op label, for diagnostics
+  std::vector<Tensor> inputs;
+  Tensor output;
+  // Extra per-call scratch buffers (floats); lifetime is the step only.
+  // LayerNorm uses two `rows`-sized slots for means/rstds.
+  std::vector<int64_t> scratch_numels;
+  StepFn fn;
+  float scalar = 0.0f;           // kAddScalar / kMulScalar operand
+  int64_t rows = 0, inner = 0;   // kSoftmaxRows geometry
+};
+
+class CaptureSink {
+ public:
+  virtual ~CaptureSink() = default;
+  virtual void OnStep(StepRecord step) = 0;
+  // Called from MakeResult for every op output (after the op's own
+  // OnStep, if any). Unknown output buffer => capture failure.
+  virtual void OnResult(const char* name, const Tensor& out) = 0;
+  // An op that cannot be captured at all (in-place mutation).
+  virtual void OnUnsupported(const char* what) = 0;
+  // A tracked tensor buffer was returned to the allocator. The sink
+  // must drop any pointer-keyed state for it: the allocator recycles
+  // buffers, so a later unrelated tensor (e.g. a factory-made constant)
+  // can reuse the address of a dead intermediate.
+  virtual void OnFree(const float* ptr) = 0;
+};
+
+namespace internal_plan {
+extern std::atomic<CaptureSink*> g_sink;
+}  // namespace internal_plan
+
+inline bool CaptureActive() {
+  return internal_plan::g_sink.load(std::memory_order_relaxed) != nullptr;
+}
+
+// Installs/clears the process-global sink. Passing a sink while one is
+// installed is a CHECK failure (captures must not nest).
+void SetCaptureSink(CaptureSink* sink);
+
+void RecordStep(StepRecord step);
+void NotifyResult(const char* name, const Tensor& out);
+void NotifyUnsupported(const char* what);
+void NotifyFree(const float* ptr);
+
+// Convenience wrapper for the common record shape (no scratch).
+inline void Record(StepKind kind, const char* name,
+                   std::vector<Tensor> inputs, const Tensor& out, StepFn fn,
+                   float scalar = 0.0f) {
+  StepRecord rec;
+  rec.kind = kind;
+  rec.name = name;
+  rec.inputs = std::move(inputs);
+  rec.output = out;
+  rec.fn = std::move(fn);
+  rec.scalar = scalar;
+  RecordStep(std::move(rec));
+}
+
+// Shard grain every elementwise op uses for ParallelFor. Lives here so
+// the plan compiler's fused sweeps shard exactly like the eager ops
+// they replace (identical grains keep thread-count bit-identity).
+inline constexpr int64_t kElemGrain = 16384;
+
+// Row-sharding grain for softmax/layernorm-style row kernels.
+inline int64_t RowGrain(int64_t n) {
+  return std::max<int64_t>(1, 4096 / (n + 1));
+}
+
+}  // namespace plan_hooks
+}  // namespace focus
+
+#endif  // FOCUS_TENSOR_PLAN_HOOKS_H_

@@ -7,6 +7,7 @@
 #include "tensor/allocator.h"
 #include "tensor/autograd.h"
 #include "tensor/memory.h"
+#include "tensor/plan_hooks.h"
 
 namespace focus {
 
@@ -43,16 +44,24 @@ std::shared_ptr<float[]> AllocateTracked(int64_t numel) {
   float* p = Allocator::Get().Allocate(numel);
   return std::shared_ptr<float[]>(p, [bytes, numel](float* q) {
     MemoryStats::RecordFree(bytes);
+    // An active plan capture keys recorded values by buffer address;
+    // it must forget this one before the allocator hands it to an
+    // unrelated tensor.
+    if (plan_hooks::CaptureActive()) plan_hooks::NotifyFree(q);
     Allocator::Get().Deallocate(q, numel);
   });
 }
 
 bool g_grad_enabled = true;
+bool g_inference_mode = false;
 
 }  // namespace
 
 bool GradMode::IsEnabled() { return g_grad_enabled; }
 void GradMode::SetEnabled(bool enabled) { g_grad_enabled = enabled; }
+
+bool InferenceMode::IsEnabled() { return g_inference_mode; }
+void InferenceMode::SetEnabled(bool enabled) { g_inference_mode = enabled; }
 
 TensorImpl::TensorImpl(Shape shape_in)
     : shape(std::move(shape_in)),

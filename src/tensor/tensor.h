@@ -79,6 +79,31 @@ class NoGradGuard {
   bool prev_;
 };
 
+// Thread-global inference-mode flag. Stronger than NoGradGuard: while it
+// is set, creating a tape node is a contract violation (MakeResult
+// CHECK-fails instead of silently recording), so inference paths are
+// guaranteed tape-free even if someone re-enables GradMode inside the
+// scope. Benchmarks, Evaluate, and plan capture all run under it.
+struct InferenceMode {
+  static bool IsEnabled();
+  static void SetEnabled(bool enabled);
+};
+
+// RAII: enters inference mode (and disables grad recording) for a scope.
+class InferenceModeGuard {
+ public:
+  InferenceModeGuard() : prev_(InferenceMode::IsEnabled()) {
+    InferenceMode::SetEnabled(true);
+  }
+  ~InferenceModeGuard() { InferenceMode::SetEnabled(prev_); }
+  InferenceModeGuard(const InferenceModeGuard&) = delete;
+  InferenceModeGuard& operator=(const InferenceModeGuard&) = delete;
+
+ private:
+  NoGradGuard no_grad_;  // ordered first: restored after the mode flag
+  bool prev_;
+};
+
 class Tensor {
  public:
   // Default-constructed tensors are "undefined"; any data access CHECKs.

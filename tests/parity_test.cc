@@ -8,11 +8,16 @@
 // care which vector backend executed it.
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "baselines/dlinear.h"
+#include "baselines/patch_tst.h"
 #include "cluster/segment_clustering.h"
+#include "core/focus_model.h"
+#include "core/planned_forecaster.h"
 #include "optim/optimizer.h"
 #include "parallel/thread_pool.h"
 #include "tensor/allocator.h"
@@ -332,6 +337,95 @@ TEST(ParityTest, TrainStepSimdBackendBitIdentical) {
                                  sizeof(float)))
         << "tensor " << t << " differs between avx2 and scalar backends";
   }
+}
+
+// The execution-plan axis of the bit-identity contract: a compiled plan
+// (src/plan) replays the exact eager kernel sequence, so for FOCUS and
+// the baselines the planned forecast must match the eager inference
+// forward byte-for-byte on every SIMD backend and at every pool size.
+// Fresh models and plans per backend — plan closures pin the kernel
+// table they were captured against.
+TEST(ParityTest, ForecastPlannedVsEagerBitIdentical) {
+  struct Case {
+    const char* name;
+    std::function<std::unique_ptr<ForecastModel>()> make;
+  };
+  const std::vector<Case> cases = {
+      {"FOCUS",
+       [] {
+         core::FocusConfig cfg;
+         cfg.lookback = 32;
+         cfg.horizon = 8;
+         cfg.num_entities = 3;
+         cfg.patch_len = 8;
+         cfg.d_model = 16;
+         cfg.readout_queries = 2;
+         cfg.seed = 23;
+         Rng rng(24);
+         return std::unique_ptr<ForecastModel>(
+             std::make_unique<core::FocusModel>(
+                 cfg, Tensor::Randn({4, 8}, rng)));
+       }},
+      {"PatchTST",
+       [] {
+         baselines::PatchTstConfig cfg;
+         cfg.lookback = 32;
+         cfg.horizon = 8;
+         cfg.patch_len = 8;
+         cfg.stride = 8;
+         cfg.d_model = 16;
+         cfg.num_heads = 2;
+         cfg.num_layers = 1;
+         cfg.ffn_dim = 32;
+         cfg.seed = 25;
+         return std::unique_ptr<ForecastModel>(
+             std::make_unique<baselines::PatchTst>(cfg));
+       }},
+      {"DLinear",
+       [] {
+         baselines::DLinearConfig cfg;
+         cfg.lookback = 32;
+         cfg.horizon = 8;
+         cfg.moving_avg = 7;
+         cfg.seed = 26;
+         return std::unique_ptr<ForecastModel>(
+             std::make_unique<baselines::DLinear>(cfg));
+       }},
+  };
+
+  std::vector<simd::Backend> backends = {simd::Backend::kScalar};
+  if (simd::Avx2Available()) backends.push_back(simd::Backend::kAvx2);
+  for (simd::Backend backend : backends) {
+    ASSERT_TRUE(simd::SetBackend(backend));
+    for (const Case& c : cases) {
+      auto model = c.make();
+      model->SetTraining(false);
+      Rng rng(27);
+      Tensor x = Tensor::Randn({2, 3, 32}, rng);
+      ThreadPool::Global().Resize(1);
+      Tensor eager;
+      {
+        InferenceModeGuard inference;
+        eager = model->Forward(x);
+      }
+      core::PlannedForecaster planned(model.get());
+      for (int threads : {1, 4, 8}) {
+        ThreadPool::Global().Resize(threads);
+        Tensor out = planned.Forward(x);
+        EXPECT_TRUE(planned.last_was_planned())
+            << c.name << " did not compile a plan";
+        ASSERT_EQ(out.shape(), eager.shape()) << c.name;
+        ASSERT_EQ(0, std::memcmp(out.data(), eager.data(),
+                                 static_cast<size_t>(out.numel()) *
+                                     sizeof(float)))
+            << c.name << " planned forecast differs from eager at "
+            << threads << " threads, backend "
+            << (backend == simd::Backend::kAvx2 ? "avx2" : "scalar");
+      }
+      ThreadPool::Global().Resize(1);
+    }
+  }
+  simd::ReinitFromEnv();
 }
 
 }  // namespace
