@@ -2,7 +2,10 @@
 # One-command correctness gate: runs the full matrix the CI would run.
 #
 #   1. lint      — scripts/focus_lint.py (repo + format rules), plus
-#                  clang-format/clang-tidy when those tools are installed.
+#                  clang-format/clang-tidy when those tools are installed,
+#                  plus scripts/focus_analyze.py (libclang AST-level
+#                  semantic rules over compile_commands.json, gated the
+#                  same way; its pure-Python offline selftest always runs).
 #   2. default   — Release build with -Werror; full ctest suite.
 #   3. simdoff   — Release build with -DFOCUS_SIMD=OFF (the AVX2 backend is
 #                  not even compiled); re-runs the `parity` and `core` test
@@ -32,7 +35,9 @@
 # Usage:
 #   scripts/check.sh                # full matrix
 #   scripts/check.sh lint           # one leg:
-#                                   #   lint|default|simdoff|asan|tsan|perf
+#                                   #   lint|analyze|default|simdoff|asan|
+#                                   #   tsan|perf (analyze = just the
+#                                   #   focus_analyze part of lint)
 #   FOCUS_CHECK_JOBS=8 scripts/check.sh   # override build parallelism
 set -euo pipefail
 
@@ -63,6 +68,31 @@ run_leg_lint() {
   else
     echo "check.sh: clang-tidy not installed; skipping (.clang-tidy config" \
          "still applies wherever the tool is available)"
+  fi
+
+  run_leg_analyze
+}
+
+run_leg_analyze() {
+  # Semantic contract analyzer (libclang AST rules: plan-capture-safety,
+  # lock-across-parallel, unnamed-raii, raw-getenv, nondeterministic-emit,
+  # op-entry-guard). Gated on clang.cindex availability exactly like the
+  # clang-format/clang-tidy steps above; the offline selftest (pure
+  # Python) runs everywhere.
+  note "lint (focus_analyze.py offline selftest)"
+  python3 scripts/focus_analyze.py --selftest-offline
+
+  if python3 scripts/focus_analyze.py --probe >/dev/null 2>&1; then
+    note "lint (focus_analyze.py fixture selftest)"
+    python3 scripts/focus_analyze.py --selftest
+    note "lint (focus_analyze.py semantic rules over the tree)"
+    # Configure-only: emitting compile_commands.json needs no build.
+    # Benchmarks/examples stay ON so their TUs are in the database.
+    cmake -B build-analyze -S . >/dev/null
+    python3 scripts/focus_analyze.py --compile-db build-analyze
+  else
+    echo "check.sh: clang.cindex (libclang) not installed; skipping" \
+         "focus_analyze semantic rules (offline selftest still ran)"
   fi
 }
 
@@ -140,13 +170,14 @@ LEGS=("${@:-lint default simdoff asan tsan}")
 for leg in "${LEGS[@]}"; do
   case "$leg" in
     lint)    run_leg_lint ;;
+    analyze) run_leg_analyze ;;
     default) run_leg_default ;;
     simdoff) run_leg_simdoff ;;
     asan)    run_leg_asan ;;
     tsan)    run_leg_tsan ;;
     perf)    run_leg_perf ;;
     *) echo "check.sh: unknown leg '$leg'" \
-            "(want lint|default|simdoff|asan|tsan|perf)" >&2
+            "(want lint|analyze|default|simdoff|asan|tsan|perf)" >&2
        exit 2 ;;
   esac
 done

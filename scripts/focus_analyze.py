@@ -1,0 +1,1014 @@
+#!/usr/bin/env python3
+"""Semantic contract analyzer: compile-db-driven libclang AST checks.
+
+focus_lint.py catches what a regex can see; this tool enforces the
+contracts that need real syntax and scope — which lambda an argument
+is, whether a lock is still alive at a call site, whether a statement
+is a declaration or a discarded temporary. It parses every translation
+unit named by a CMake `compile_commands.json` through libclang
+(`clang.cindex`) and walks the AST.
+
+Rules (all AST-level; none expressible in focus_lint's regex layer):
+
+  plan-capture-safety   Lambdas recorded into plan_hooks (arguments to
+                        plan_hooks::Record / the closure assigned to
+                        StepRecord::fn before RecordStep) must capture
+                        only by value: no capture-default `&`, no
+                        `&name`, no `this`. Replay closures outlive the
+                        capture scope by construction — a by-reference
+                        capture is a dangling pointer in every replay.
+                        Lambdas *inside* the closure body (the nested
+                        ParallelFor bodies) run immediately and are
+                        exempt.
+  lock-across-parallel  No std::lock_guard / unique_lock / scoped_lock
+                        may be live in scope at a ParallelFor/RunShards
+                        call site (outside src/parallel/ itself, which
+                        owns the pool's internal dispatch locks).
+                        Nested ParallelFor serializes onto the caller,
+                        so a lock held across the region either
+                        deadlocks against a body that takes it or
+                        silently serializes the whole pool behind it.
+                        Calls inside deferred lambdas are not charged
+                        to the enclosing lock scope (they may run
+                        later, off-thread).
+  unnamed-raii          TraceSpan, InferenceModeGuard, and lock guards
+                        constructed as expression-statement temporaries
+                        (`TraceSpan("x");`) are destroyed at the end of
+                        the full expression — the span/guard covers
+                        nothing. The object must be a named local.
+  raw-getenv            std::getenv outside src/utils/ bypasses the
+                        hardened helpers (GetEnvOr / GetEnvIntInRangeOr
+                        in utils/env.h), which own the
+                        warn-and-fallback contract for malformed
+                        values.
+  nondeterministic-emit Range-for over std::unordered_map/set inside an
+                        emission path (any function in src/obs/, or a
+                        function whose name says it emits: Export*,
+                        *Json, *Report, Write*, Dump*, Emit*).
+                        Iteration order is hash-seed / libstdc++-
+                        version dependent; bench_diff.py and trace
+                        diffing need byte-stable output.
+  op-entry-guard        Every public op (declared in tensor/ops.h,
+                        defined in ops_*.cc) must validate operands
+                        before dispatching work: a FOCUS_*CHECK token
+                        must appear, in statement order, before the
+                        first statement that launches a kernel
+                        (ParallelFor / RunShards / simd::Kernels()) or
+                        calls another public op. Upgrades focus_lint's
+                        600-char regex window to a check over the
+                        function body's actual leading statements.
+
+Suppressions: a deliberate exception carries, on the same line or the
+line above, `// FOCUS-ANALYZE-OK(rule): reason`. Used suppressions are
+counted and reported; unused ones are reported as warnings (they
+usually mean the code was fixed but the comment stayed).
+
+Degradation contract: when `clang.cindex` or a loadable libclang shared
+library is unavailable, every analysis mode prints a single
+`focus_analyze: SKIP (...)` notice and exits 0, mirroring check.sh's
+clang-tidy gating; `--selftest-offline` (the libclang-free subset) and
+`--probe` still run everywhere. ctest marks the skipped runs as
+"Skipped" via SKIP_REGULAR_EXPRESSION.
+
+Exit status: 0 = clean or skipped, 1 = findings (or selftest
+mismatch), 2 = usage/configuration error.
+"""
+
+import argparse
+import json
+import re
+import shlex
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURE_DIR = REPO_ROOT / "tests" / "analyze_fixtures"
+
+# Directories whose TUs we analyze (findings elsewhere are dropped).
+ANALYZED_DIRS = ("src", "tests", "bench", "examples")
+
+RULES = (
+    "plan-capture-safety",
+    "lock-across-parallel",
+    "unnamed-raii",
+    "raw-getenv",
+    "nondeterministic-emit",
+    "op-entry-guard",
+)
+
+GUARD_TYPES = ("TraceSpan", "InferenceModeGuard", "lock_guard",
+               "unique_lock", "scoped_lock", "shared_lock")
+LOCK_TYPES = ("lock_guard", "unique_lock", "scoped_lock", "shared_lock")
+PARALLEL_CALLS = ("ParallelFor", "RunShards")
+GETENV_NAMES = ("getenv", "secure_getenv")
+UNORDERED_RE = re.compile(
+    r"\bunordered_(?:multi)?(?:map|set)\b")
+EMIT_FN_RE = re.compile(
+    r"(?:^|_)(?:[Ee]xport|[Ww]rite|[Dd]ump|[Ee]mit)"
+    r"|(?:Json|Report)(?:$|[A-Z_])"
+    r"|(?:^|_)(?:json|report)(?:$|_)")
+CHECK_TOKEN_RE = re.compile(r"^FOCUS_\w*CHECK\w*$")
+SUPPRESS_RE = re.compile(r"//\s*FOCUS-ANALYZE-OK\((?P<rule>[\w-]+)\)\s*:")
+EXPECT_RE = re.compile(r"//\s*EXPECT-FINDING:\s*(?P<rule>[\w-]+)")
+OP_NAMES_RE = re.compile(r"//\s*ANALYZE-OP-NAMES:\s*(?P<names>[\w ]+)")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = Path(path)
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def key(self):
+        return (str(self.path), self.line, self.rule)
+
+    def render(self, root):
+        p = self.path
+        try:
+            p = p.relative_to(root)
+        except ValueError:
+            pass
+        return f"{p}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --- libclang availability ---------------------------------------------------
+
+
+def load_cindex():
+    """Returns a working clang.cindex module, or None with a reason."""
+    try:
+        from clang import cindex  # noqa: F401  (optional dependency)
+    except ImportError:
+        return None, "python module clang.cindex not installed"
+    import ctypes.util
+    import glob
+    import os
+    candidates = []
+    env = os.environ.get("FOCUS_LIBCLANG")
+    if env:
+        candidates.append(env)
+    found = ctypes.util.find_library("clang")
+    if found:
+        candidates.append(found)
+    for pat in ("/usr/lib/llvm-*/lib/libclang-*.so*",
+                "/usr/lib/llvm-*/lib/libclang.so*",
+                "/usr/lib/*/libclang-*.so*",
+                "/usr/lib/*/libclang.so*",
+                "/usr/local/lib/libclang*.so*"):
+        candidates.extend(sorted(glob.glob(pat), reverse=True))
+    last_err = "no libclang shared library found"
+    for cand in candidates:
+        # libclang-cpp is the C++ API; cindex needs the C API library.
+        if "libclang-cpp" in cand:
+            continue
+        try:
+            cfg = cindex.Config()
+            cfg.set_library_file(cand)
+            cfg.lib  # force dlopen now, not lazily inside parse()
+            cindex.conf = cfg
+            return cindex, None
+        except Exception as e:  # noqa: BLE001 — any dlopen/ABI failure
+            last_err = f"{cand}: {e}"
+    # Some installs register libclang with the default loader path.
+    try:
+        cindex.Index.create()
+        return cindex, None
+    except Exception:  # noqa: BLE001
+        return None, last_err
+
+
+def skip(reason):
+    print(f"focus_analyze: SKIP ({reason}); semantic rules not enforced "
+          "on this host")
+    return 0
+
+
+# --- suppressions ------------------------------------------------------------
+
+
+class Suppressions:
+    """FOCUS-ANALYZE-OK(rule) markers for one source file."""
+
+    def __init__(self, path):
+        self.by_line = {}  # line -> rule
+        self.used = set()
+        try:
+            text = Path(path).read_text()
+        except OSError:
+            text = ""
+        for i, line in enumerate(text.splitlines(), 1):
+            m = SUPPRESS_RE.search(line)
+            if m:
+                self.by_line[i] = m.group("rule")
+
+    def matches(self, line, rule):
+        """True if a marker on `line` or the line above covers `rule`."""
+        for cand in (line, line - 1):
+            if self.by_line.get(cand) == rule:
+                self.used.add(cand)
+                return True
+        return False
+
+    def unused(self):
+        return {ln: rule for ln, rule in self.by_line.items()
+                if ln not in self.used}
+
+
+# --- compile database --------------------------------------------------------
+
+
+def load_compile_db(arg):
+    """Returns a list of (source_path, clang_args) from compile_commands.json.
+
+    `arg` may be the JSON file itself or a directory containing it; when
+    None, the conventional build directories are searched.
+    """
+    candidates = []
+    if arg:
+        p = Path(arg)
+        candidates = [p if p.suffix == ".json" else p / "compile_commands.json"]
+    else:
+        for d in ("build", "build-check", "build-analyze", "build-tidy"):
+            candidates.append(REPO_ROOT / d / "compile_commands.json")
+    db_path = next((c for c in candidates if c.is_file()), None)
+    if db_path is None:
+        tried = ", ".join(str(c) for c in candidates)
+        raise FileNotFoundError(
+            f"no compile_commands.json (tried: {tried}); configure with "
+            "cmake -B build -S . (CMAKE_EXPORT_COMPILE_COMMANDS is on by "
+            "default in the top-level CMakeLists)")
+    entries = json.loads(db_path.read_text())
+    tus = []
+    seen = set()
+    for entry in entries:
+        src = Path(entry["file"])
+        if not src.is_absolute():
+            src = Path(entry["directory"]) / src
+        src = src.resolve()
+        if src in seen:
+            continue
+        seen.add(src)
+        try:
+            rel = src.relative_to(REPO_ROOT)
+        except ValueError:
+            continue
+        if rel.parts[0] not in ANALYZED_DIRS:
+            continue
+        if "arguments" in entry:
+            argv = list(entry["arguments"])
+        else:
+            argv = shlex.split(entry["command"])
+        tus.append((src, adapt_args(argv, src)))
+    return tus
+
+
+def adapt_args(argv, src):
+    """Turns a compile-db command line into libclang parse args."""
+    out = []
+    i = 1  # drop the compiler itself
+    while i < len(argv):
+        a = argv[i]
+        if a in ("-c", "-Werror"):
+            i += 1
+            continue
+        if a == "-o":
+            i += 2
+            continue
+        if a == str(src):
+            i += 1
+            continue
+        out.append(a)
+        i += 1
+    # We want the AST, not the diagnostics; gcc flag sets may produce
+    # clang warnings that are beside the point here.
+    out += ["-Wno-everything", "-ferror-limit=50"]
+    return out
+
+
+# --- AST helpers -------------------------------------------------------------
+
+
+def tokens_of(cursor):
+    """Non-comment token spellings of a cursor's extent."""
+    out = []
+    for t in cursor.get_tokens():
+        if t.kind.name != "COMMENT":
+            out.append(t.spelling)
+    return out
+
+
+def cursor_file(cursor):
+    f = cursor.location.file
+    return Path(f.name).resolve() if f else None
+
+
+def type_names(type_spelling):
+    """The identifier set of a type spelling, for guard-type matching."""
+    return set(re.findall(r"\w+", type_spelling))
+
+
+def callee_name(call_cursor):
+    """Spelling of a CALL_EXPR's callee, robust to unresolved templates."""
+    name = call_cursor.spelling
+    if name:
+        return name
+    ref = call_cursor.referenced
+    return ref.spelling if ref else ""
+
+
+def call_is_qualified(call_cursor, namespace):
+    """True if the callee is (lexically or semantically) in `namespace`."""
+    ref = call_cursor.referenced
+    if ref is not None:
+        parent = ref.semantic_parent
+        while parent is not None and parent.kind is not None:
+            if parent.spelling == namespace:
+                return True
+            parent = parent.semantic_parent
+            if parent is None or parent.spelling == "":
+                break
+        return False
+    # Unresolved (template-dependent) call: look at the spelled tokens up
+    # to the opening paren.
+    toks = []
+    for t in call_cursor.get_tokens():
+        if t.spelling == "(":
+            break
+        toks.append(t.spelling)
+        if len(toks) > 8:
+            break
+    return namespace in toks
+
+
+def lambda_capture_violations(lam, in_method):
+    """Returns [(line, message)] for unsafe captures of LAMBDA_EXPR `lam`.
+
+    Token-level inspection of the capture introducer `[...]`: the
+    introducer is pure syntax, so tokens are exact here, while libclang's
+    cursor API does not expose by-ref vs by-value capture kinds.
+    `in_method` comes from the analyzer's enclosing-function stack (a
+    `[=]` inside a member function implicitly captures `this`).
+    """
+    toks = list(lam.get_tokens())
+    if not toks or toks[0].spelling != "[":
+        return []
+    intro, depth = [], 0
+    for t in toks:
+        s = t.spelling
+        if s == "[":
+            depth += 1
+            if depth == 1:
+                continue
+        elif s == "]":
+            depth -= 1
+            if depth == 0:
+                break
+        intro.append((s, t.location.line))
+    # Split the introducer on top-level commas.
+    entries, cur, nest = [], [], 0
+    for s, line in intro:
+        if s in ("(", "<", "{", "["):
+            nest += 1
+        elif s in (")", ">", "}", "]"):
+            nest -= 1
+        if s == "," and nest == 0:
+            entries.append(cur)
+            cur = []
+        else:
+            cur.append((s, line))
+    if cur:
+        entries.append(cur)
+    bad = []
+    for entry in entries:
+        if not entry:
+            continue
+        first, line = entry[0]
+        spelled = "".join(s for s, _ in entry)
+        if first == "&":
+            what = spelled if len(entry) > 1 else "capture-default [&]"
+            bad.append((line, f"by-reference capture '{what}'"))
+        elif first == "this":
+            bad.append((line, "captures 'this' (the object may be dead "
+                              "at replay time)"))
+        elif first == "=" and len(entry) == 1 and in_method:
+            bad.append((line, "capture-default [=] inside a member "
+                              "function implicitly captures 'this'"))
+    return bad
+
+
+def walk_calls_skipping_lambdas(ck, cursor, out):
+    """Collects CALL_EXPR cursors, not descending into lambda bodies."""
+    if cursor.kind == ck.LAMBDA_EXPR:
+        return
+    if cursor.kind == ck.CALL_EXPR:
+        out.append(cursor)
+    for child in cursor.get_children():
+        walk_calls_skipping_lambdas(ck, child, out)
+
+
+def top_level_lambdas(ck, cursor, out):
+    """Collects LAMBDA_EXPRs reachable without entering another lambda."""
+    if cursor.kind == ck.LAMBDA_EXPR:
+        out.append(cursor)
+        return
+    for child in cursor.get_children():
+        top_level_lambdas(ck, child, out)
+
+
+# --- the analyzer ------------------------------------------------------------
+
+
+class Analyzer:
+    def __init__(self, cindex, op_names, root=REPO_ROOT):
+        self.cindex = cindex
+        self.ck = cindex.CursorKind
+        self.op_names = op_names
+        self.root = root
+        self.findings = []
+        self.fn_stack = []  # (name, is_emit_context)
+
+    # -- entry point per TU --
+
+    def analyze_tu(self, tu, tu_path):
+        self.tu_path = Path(tu_path)
+        self.visit(tu.cursor)
+
+    def report(self, cursor, rule, message):
+        f = cursor_file(cursor)
+        if f is None:
+            return
+        self.findings.append(
+            Finding(f, cursor.location.line, rule, message))
+
+    def rel(self, path):
+        try:
+            return str(Path(path).resolve().relative_to(self.root))
+        except ValueError:
+            return str(path)
+
+    # -- recursive walk --
+
+    def visit(self, cursor):
+        ck = self.ck
+        kind = cursor.kind
+        in_repo = True
+        if kind != ck.TRANSLATION_UNIT:
+            f = cursor_file(cursor)
+            if f is None:
+                in_repo = False
+            else:
+                try:
+                    f.resolve().relative_to(self.root)
+                except ValueError:
+                    in_repo = False
+        if not in_repo:
+            return  # system headers: nothing to check, don't descend
+
+        pushed = False
+        if kind in (ck.FUNCTION_DECL, ck.CXX_METHOD, ck.FUNCTION_TEMPLATE,
+                    ck.CONSTRUCTOR, ck.DESTRUCTOR):
+            name = cursor.spelling or ""
+            is_method = kind in (ck.CXX_METHOD, ck.CONSTRUCTOR,
+                                 ck.DESTRUCTOR)
+            self.fn_stack.append(
+                (name, self.is_emit_context(cursor, name), is_method))
+            pushed = True
+            if cursor.is_definition():
+                self.check_op_entry_guard(cursor)
+
+        if kind == ck.COMPOUND_STMT:
+            self.check_compound(cursor)
+        elif kind == ck.CALL_EXPR:
+            self.check_call(cursor)
+        elif kind == ck.CXX_FOR_RANGE_STMT:
+            self.check_range_for(cursor)
+
+        for child in cursor.get_children():
+            self.visit(child)
+        if pushed:
+            self.fn_stack.pop()
+
+    # -- rule: unnamed-raii + lock-across-parallel (need statement order) --
+
+    def check_compound(self, compound):
+        ck = self.ck
+        live_locks = []  # (decl_line, type_name) declared in this scope
+        for stmt in compound.get_children():
+            # A lock declared earlier in this scope is still live at
+            # every later sibling statement (including initializers of
+            # later declarations). Deferred lambda bodies are skipped:
+            # the rule charges only calls provably run under the lock.
+            if live_locks and not self.in_parallel_impl():
+                calls = []
+                walk_calls_skipping_lambdas(ck, stmt, calls)
+                for call in calls:
+                    if callee_name(call) in PARALLEL_CALLS:
+                        lock_line, lock_type = live_locks[0]
+                        self.report(
+                            call, "lock-across-parallel",
+                            f"{callee_name(call)} while std::{lock_type} "
+                            f"(declared line {lock_line}) is live; nested "
+                            "regions serialize onto the caller, so the "
+                            "lock is held across every shard — release "
+                            "it before dispatching")
+            if stmt.kind == ck.DECL_STMT:
+                for d in stmt.get_children():
+                    if d.kind != ck.VAR_DECL:
+                        continue
+                    names = type_names(d.type.spelling)
+                    hit = next((t for t in LOCK_TYPES if t in names), None)
+                    if hit:
+                        live_locks.append((d.location.line, hit))
+            elif stmt.kind.is_expression():
+                names = type_names(stmt.type.spelling)
+                hit = next((t for t in GUARD_TYPES if t in names), None)
+                if hit:
+                    self.report(
+                        stmt, "unnamed-raii",
+                        f"{hit} constructed as an unnamed temporary; it "
+                        "is destroyed at the ';' and guards nothing — "
+                        "bind it to a named local")
+
+    def in_parallel_impl(self):
+        return self.rel(self.tu_path).startswith("src/parallel/")
+
+    # -- rule: raw-getenv + plan-capture-safety (call sites) --
+
+    def check_call(self, call):
+        name = callee_name(call)
+        if name in GETENV_NAMES and self.is_libc_getenv(call) \
+                and not self.call_site_in_utils(call):
+            self.report(
+                call, "raw-getenv",
+                f"raw {name}() outside src/utils/; use GetEnvOr / "
+                "GetEnvIntInRangeOr (utils/env.h), which own the "
+                "warn-and-fallback contract for malformed values")
+        if name in ("Record", "RecordStep") and \
+                call_is_qualified(call, "plan_hooks"):
+            self.check_plan_capture_call(call)
+        if name == "operator=":
+            self.check_stepfn_assignment(call)
+
+    def is_libc_getenv(self, call):
+        """True unless the callee is a same-named function in some other
+        (non-std) namespace."""
+        ck = self.ck
+        ref = call.referenced
+        if ref is None:
+            return True  # unresolved: assume the libc one
+        parent = ref.semantic_parent
+        while parent is not None and parent.kind in (
+                ck.LINKAGE_SPEC, ck.UNEXPOSED_DECL):
+            parent = parent.semantic_parent
+        if parent is None or parent.kind == ck.TRANSLATION_UNIT:
+            return True
+        return parent.kind == ck.NAMESPACE and parent.spelling in ("std", "")
+
+    def call_site_in_utils(self, call):
+        # Attribution is per call-site file: a header included from many
+        # TUs keeps its own path.
+        f = cursor_file(call)
+        if f is None:
+            return False
+        rel = self.rel(f)
+        return rel.startswith("src/utils/")
+
+    def check_plan_capture_call(self, call):
+        ck = self.ck
+        args = list(call.get_arguments())
+        if not args:  # unresolved overload: fall back to all children
+            args = list(call.get_children())[1:]
+        lambdas = []
+        for a in args:
+            top_level_lambdas(ck, a, lambdas)
+        in_method = self.current_in_method()
+        for lam in lambdas:
+            for line, msg in lambda_capture_violations(lam, in_method):
+                self.findings.append(Finding(
+                    cursor_file(lam), line, "plan-capture-safety",
+                    f"replay closure recorded into plan_hooks has {msg}; "
+                    "replay outlives the capture scope — capture by "
+                    "value"))
+
+    def check_stepfn_assignment(self, call):
+        ck = self.ck
+        children = list(call.get_children())
+        if not children:
+            return
+        lhs = children[0]
+        lhs_names = type_names(lhs.type.spelling)
+        if "StepFn" not in lhs_names and not (
+                lhs.kind == ck.MEMBER_REF_EXPR and lhs.spelling == "fn"
+                and "StepRecord" in type_names(
+                    next(iter(lhs.get_children()), lhs).type.spelling)):
+            return
+        lambdas = []
+        for rhs in children[1:]:
+            top_level_lambdas(ck, rhs, lambdas)
+        in_method = self.current_in_method()
+        for lam in lambdas:
+            for line, msg in lambda_capture_violations(lam, in_method):
+                self.findings.append(Finding(
+                    cursor_file(lam), line, "plan-capture-safety",
+                    f"StepRecord::fn closure has {msg}; replay outlives "
+                    "the capture scope — capture by value"))
+
+    def current_in_method(self):
+        return bool(self.fn_stack) and self.fn_stack[-1][2]
+
+    # -- rule: nondeterministic-emit --
+
+    def is_emit_context(self, cursor, name):
+        f = cursor_file(cursor)
+        if f is not None and self.rel(f).startswith("src/obs/"):
+            return True
+        return bool(EMIT_FN_RE.search(name or ""))
+
+    def check_range_for(self, cursor):
+        if not (self.fn_stack and self.fn_stack[-1][1]):
+            return
+        # The range initializer's type decides the rule. libclang's
+        # child layout for CXXForRangeStmt varies (the range expression
+        # may sit bare or inside an implicit declaration), so collect
+        # type spellings from every child subtree *except the loop
+        # body* (the last child) — an unordered container merely used
+        # inside the body is not an iteration over one.
+        children = list(cursor.get_children())
+        spellings = []
+
+        def collect(c, depth=0):
+            spellings.append(c.type.spelling or "")
+            if depth < 4:
+                for sub in c.get_children():
+                    collect(sub, depth + 1)
+
+        for c in children[:-1] if len(children) > 1 else children:
+            collect(c)
+        if any(UNORDERED_RE.search(s) for s in spellings):
+            fn = self.fn_stack[-1][0]
+            self.report(
+                cursor, "nondeterministic-emit",
+                f"range-for over an unordered container in emission "
+                f"path '{fn}'; iteration order is hash-seed dependent — "
+                "copy to a sorted vector (or use std::map) so trace/"
+                "bench JSON stays byte-stable")
+
+    # -- rule: op-entry-guard --
+
+    def check_op_entry_guard(self, fn_cursor):
+        name = fn_cursor.spelling
+        if name not in self.op_names:
+            return
+        f = cursor_file(fn_cursor)
+        if f is None or not re.match(r"ops_\w+\.(cc|cpp)$", f.name):
+            return
+        ck = self.ck
+        body = None
+        for child in fn_cursor.get_children():
+            if child.kind == ck.COMPOUND_STMT:
+                body = child
+        if body is None:
+            return
+        check_pos = None
+        dispatch_pos = None
+        dispatch_what = None
+        for idx, stmt in enumerate(list(body.get_children())):
+            toks = tokens_of(stmt)
+            if check_pos is None and any(
+                    CHECK_TOKEN_RE.match(t) for t in toks):
+                check_pos = idx
+            if dispatch_pos is None:
+                # Token scan (not call cursors): a dispatch buried in an
+                # immediately-run ParallelFor lambda body still touches
+                # the operands, so lambda bodies must count here.
+                hit = next((t for t in toks if t in PARALLEL_CALLS
+                            or t == "Kernels"
+                            or (t in self.op_names and t != name)), None)
+                if hit is not None:
+                    dispatch_pos = idx
+                    dispatch_what = hit
+            if check_pos is not None and dispatch_pos is not None:
+                break
+        if check_pos is None:
+            self.report(
+                fn_cursor, "op-entry-guard",
+                f"public op '{name}' has no FOCUS_*CHECK operand "
+                "validation anywhere in its body")
+        elif dispatch_pos is not None and dispatch_pos < check_pos:
+            self.report(
+                fn_cursor, "op-entry-guard",
+                f"public op '{name}' dispatches work ('{dispatch_what}', "
+                f"statement {dispatch_pos + 1}) before its first "
+                f"FOCUS_*CHECK (statement {check_pos + 1}); validate "
+                "operands first")
+
+
+# --- op names (shared with focus_lint's regex layer) -------------------------
+
+
+def public_op_names():
+    ops_h = REPO_ROOT / "src/tensor/ops.h"
+    if not ops_h.is_file():
+        return set()
+    text = ops_h.read_text()
+    names = set()
+    for m in re.finditer(r"^(?:Tensor|void|Shape)\s+(\w+)\(", text, re.M):
+        names.add(m.group(1))
+    for m in re.finditer(r"^(?:Tensor|void|Shape)\n(\w+)\(", text, re.M):
+        names.add(m.group(1))
+    return names - {"operator"}
+
+
+# --- driver: tree scan -------------------------------------------------------
+
+
+def run_tree(cindex, compile_db, paths):
+    try:
+        tus = load_compile_db(compile_db)
+    except FileNotFoundError as e:
+        print(f"focus_analyze: error: {e}", file=sys.stderr)
+        return 2
+    if paths:
+        wanted = [str((REPO_ROOT / p).resolve()) for p in paths]
+        tus = [(s, a) for s, a in tus
+               if any(str(s).startswith(w) for w in wanted)]
+    if not tus:
+        print("focus_analyze: error: no translation units matched",
+              file=sys.stderr)
+        return 2
+
+    analyzer = Analyzer(cindex, public_op_names())
+    index = cindex.Index.create()
+    parse_failures = []
+    for src, args in sorted(tus):
+        try:
+            tu = index.parse(str(src), args=args)
+        except cindex.TranslationUnitLoadError as e:
+            parse_failures.append((src, str(e)))
+            continue
+        fatal = [d for d in tu.diagnostics if d.severity >= 4]
+        if fatal:
+            parse_failures.append((src, fatal[0].spelling))
+            continue
+        analyzer.analyze_tu(tu, src)
+
+    if parse_failures:
+        print(f"focus_analyze: {len(parse_failures)} TU(s) failed to "
+              "parse; findings below are incomplete", file=sys.stderr)
+        for src, why in parse_failures[:10]:
+            print(f"  {src}: {why}", file=sys.stderr)
+
+    code = emit_findings(analyzer.findings, len(tus))
+    return max(code, 1 if parse_failures else 0)
+
+
+def emit_findings(findings, n_tus, root=REPO_ROOT):
+    # Dedupe (headers are reached through many TUs), then suppress.
+    unique = {}
+    for f in findings:
+        unique.setdefault(f.key(), f)
+    suppressions = {}
+    kept = []
+    n_suppressed = 0
+    for f in sorted(unique.values(),
+                    key=lambda f: (str(f.path), f.line, f.rule)):
+        sup = suppressions.get(f.path)
+        if sup is None:
+            sup = suppressions[f.path] = Suppressions(f.path)
+        if sup.matches(f.line, f.rule):
+            n_suppressed += 1
+        else:
+            kept.append(f)
+    for path, sup in sorted(suppressions.items()):
+        for ln, rule in sorted(sup.unused().items()):
+            rel = path
+            try:
+                rel = path.relative_to(root)
+            except ValueError:
+                pass
+            print(f"focus_analyze: warning: unused suppression "
+                  f"FOCUS-ANALYZE-OK({rule}) at {rel}:{ln}")
+    if kept:
+        print(f"focus_analyze: {len(kept)} finding(s) across {n_tus} "
+              f"TU(s), {n_suppressed} suppressed", file=sys.stderr)
+        for f in kept:
+            print(f"  {f.render(root)}", file=sys.stderr)
+        return 1
+    print(f"focus_analyze: clean ({n_tus} TU(s), {len(RULES)} rules, "
+          f"{n_suppressed} suppression(s) honored)")
+    return 0
+
+
+# --- driver: fixture selftest ------------------------------------------------
+
+FIXTURE_ARGS = ["-std=c++20", "-x", "c++", "-Wno-everything"]
+
+
+def fixture_expectations(path):
+    """(line -> [rules]) parsed from EXPECT-FINDING markers."""
+    expect = {}
+    for i, line in enumerate(path.read_text().splitlines(), 1):
+        for m in EXPECT_RE.finditer(line):
+            expect.setdefault(i, []).append(m.group("rule"))
+    return expect
+
+
+def run_selftest(cindex):
+    fixtures = sorted(FIXTURE_DIR.glob("*.cc"))
+    if not fixtures:
+        print(f"focus_analyze: error: no fixtures in {FIXTURE_DIR}",
+              file=sys.stderr)
+        return 2
+    index = cindex.Index.create()
+    failures = []
+    fired = {}  # rule -> count across the corpus
+    for fx in fixtures:
+        text = fx.read_text()
+        m = OP_NAMES_RE.search(text)
+        op_names = set(m.group("names").split()) if m else public_op_names()
+        analyzer = Analyzer(cindex, op_names, root=FIXTURE_DIR)
+        tu = index.parse(str(fx), args=FIXTURE_ARGS)
+        fatal = [d for d in tu.diagnostics if d.severity >= 4]
+        if fatal:
+            failures.append(f"{fx.name}: fixture failed to parse: "
+                            f"{fatal[0].spelling}")
+            continue
+        analyzer.analyze_tu(tu, fx)
+
+        sup = Suppressions(fx)
+        actual = {}
+        for f in analyzer.findings:
+            if Path(f.path) != fx:
+                continue
+            if sup.matches(f.line, f.rule):
+                continue
+            actual.setdefault(f.line, []).append(f.rule)
+            fired[f.rule] = fired.get(f.rule, 0) + 1
+        expected = fixture_expectations(fx)
+        for line in sorted(set(expected) | set(actual)):
+            want = sorted(expected.get(line, []))
+            got = sorted(actual.get(line, []))
+            if want != got:
+                failures.append(
+                    f"{fx.name}:{line}: expected {want or 'nothing'}, "
+                    f"analyzer reported {got or 'nothing'}")
+        # The suppressed fixture also pins the accounting.
+        if "suppressed" in fx.name and not sup.used:
+            failures.append(f"{fx.name}: suppression was not consumed")
+
+    never_fired = [r for r in RULES if r not in fired]
+    if never_fired:
+        failures.append(
+            f"rules with no firing fixture: {never_fired} — every rule "
+            "needs a failing TU in tests/analyze_fixtures/")
+    if failures:
+        print(f"focus_analyze: selftest FAILED ({len(failures)} "
+              "mismatch(es))", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    per_rule = ", ".join(f"{r}={fired[r]}" for r in RULES)
+    print(f"focus_analyze: selftest passed over {len(fixtures)} "
+          f"fixture(s) ({per_rule})")
+    return 0
+
+
+# --- driver: offline selftest (no libclang required) -------------------------
+
+
+def run_selftest_offline():
+    """Validates every part of the analyzer that does not need libclang.
+
+    Runs everywhere — including hosts where the semantic rules skip — so
+    the lint ctest label always carries executable coverage of the
+    suppression grammar, the fixture corpus conventions, and the
+    compile-db plumbing.
+    """
+    failures = []
+
+    # 1. Suppression grammar: marker on the line and on the next line.
+    import tempfile
+    with tempfile.NamedTemporaryFile(
+            "w", suffix=".cc", delete=False) as tf:
+        tf.write("int a;\n"
+                 "// FOCUS-ANALYZE-OK(raw-getenv): restore in test\n"
+                 "int b;  // covered by previous line\n"
+                 "int c;  // FOCUS-ANALYZE-OK(unnamed-raii): same line\n"
+                 "// FOCUS-ANALYZE-OK(lock-across-parallel): never used\n"
+                 "int d;\n")
+        tmp = tf.name
+    sup = Suppressions(tmp)
+    if not sup.matches(3, "raw-getenv"):
+        failures.append("suppression on preceding line not honored")
+    if sup.matches(3, "unnamed-raii"):
+        failures.append("suppression matched the wrong rule")
+    if not sup.matches(4, "unnamed-raii"):
+        failures.append("same-line suppression not honored")
+    sup2 = Suppressions(tmp)
+    if set(sup2.unused()) != {2, 4, 5}:
+        failures.append(f"unused-suppression tracking wrong: "
+                        f"{sorted(sup2.unused())}")
+    Path(tmp).unlink()
+
+    # 2. Fixture corpus conventions: every fixture parses as
+    # expectations, every expected rule name is real, every rule has at
+    # least one expectation somewhere, and the clean fixture has none.
+    fixtures = sorted(FIXTURE_DIR.glob("*.cc"))
+    if len(fixtures) < len(RULES) + 1:
+        failures.append(
+            f"fixture corpus too small: {len(fixtures)} files for "
+            f"{len(RULES)} rules (+1 clean)")
+    expected_rules = set()
+    for fx in fixtures:
+        exp = fixture_expectations(fx)
+        for line, rules in exp.items():
+            for r in rules:
+                if r not in RULES:
+                    failures.append(
+                        f"{fx.name}:{line}: unknown rule '{r}' in "
+                        "EXPECT-FINDING")
+                expected_rules.add(r)
+        if fx.name.startswith("clean") and exp:
+            failures.append(f"{fx.name}: clean fixture must not carry "
+                            "EXPECT-FINDING markers")
+    missing = set(RULES) - expected_rules
+    if fixtures and missing:
+        failures.append(f"no fixture expects rule(s): {sorted(missing)}")
+
+    # 3. Compile-db plumbing: adapt_args drops -c/-o/source/-Werror and
+    # appends the diagnostic silencers.
+    got = adapt_args(
+        ["/usr/bin/c++", "-I/x", "-O2", "-Werror", "-c", "-o", "a.o",
+         "/r/s.cc"], Path("/r/s.cc"))
+    if got[:2] != ["-I/x", "-O2"] or "-Werror" in got or "-c" in got \
+            or "a.o" in got or "/r/s.cc" in got \
+            or "-Wno-everything" not in got:
+        failures.append(f"adapt_args wrong: {got}")
+
+    # 4. Emission-context heuristic.
+    for name, want in (("WriteReportJson", True), ("ExportSpans", True),
+                       ("DumpTrace", True), ("Accumulate", False),
+                       ("report_to_json", True), ("Forecast", False)):
+        if bool(EMIT_FN_RE.search(name)) != want:
+            failures.append(f"EMIT_FN_RE('{name}') != {want}")
+
+    # 5. Public-op extraction sees the real header (when run in-repo).
+    ops = public_op_names()
+    if (REPO_ROOT / "src/tensor/ops.h").is_file():
+        for probe in ("MatMul", "Add", "SoftmaxLastDim"):
+            if probe not in ops:
+                failures.append(f"public_op_names missing '{probe}'")
+
+    if failures:
+        print(f"focus_analyze: offline selftest FAILED "
+              f"({len(failures)})", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"focus_analyze: offline selftest passed "
+          f"({len(fixtures)} fixtures, {len(RULES)} rules)")
+    return 0
+
+
+# --- main --------------------------------------------------------------------
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="libclang semantic contract analyzer (see module "
+                    "docstring for the rule table)")
+    parser.add_argument("--compile-db", metavar="DIR_OR_JSON",
+                        help="compile_commands.json or its directory "
+                             "(default: search build*/ dirs)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the fixture corpus under "
+                             "tests/analyze_fixtures/")
+    parser.add_argument("--selftest-offline", action="store_true",
+                        help="libclang-free checks (suppression grammar, "
+                             "fixture conventions, compile-db plumbing)")
+    parser.add_argument("--probe", action="store_true",
+                        help="exit 0 if libclang is usable, 3 if not")
+    parser.add_argument("paths", nargs="*",
+                        help="restrict the tree scan to these paths")
+    args = parser.parse_args()
+
+    if args.selftest_offline:
+        return run_selftest_offline()
+
+    cindex, reason = load_cindex()
+    if args.probe:
+        if cindex is None:
+            print(f"focus_analyze: libclang unavailable ({reason})")
+            return 3
+        print("focus_analyze: libclang available")
+        return 0
+    if cindex is None:
+        return skip(reason)
+    if args.selftest:
+        return run_selftest(cindex)
+    return run_tree(cindex, args.compile_db, args.paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

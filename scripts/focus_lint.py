@@ -57,7 +57,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 CXX_GLOBS = ("src/**/*.cc", "src/**/*.h", "src/**/*.inc", "tests/*.cc",
-             "tests/*.h")
+             "tests/*.h", "bench/**/*.cc", "examples/**/*.cc",
+             "examples/**/*.cpp")
 KERNEL_DIRS = ("src/tensor", "src/parallel")
 MAX_LINE = 80
 

@@ -1,0 +1,92 @@
+// The closest *legal* pattern for every rule; must produce zero
+// findings. Any firing here is a false-positive regression.
+namespace std {
+class mutex {};
+template <class T>
+class lock_guard {
+ public:
+  explicit lock_guard(T&) {}
+};
+template <class K, class V>
+class map {
+ public:
+  struct iterator {
+    iterator& operator++();
+    bool operator!=(const iterator&) const;
+    int operator*() const;
+  };
+  iterator begin();
+  iterator end();
+};
+}  // namespace std
+
+namespace focus {
+template <class F>
+void ParallelFor(long b, long e, long g, F f) {
+  (void)g;
+  f(b, e);
+}
+namespace obs {
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*) {}
+};
+}  // namespace obs
+namespace plan_hooks {
+template <class>
+class function;
+template <class R, class... A>
+class function<R(A...)> {
+ public:
+  function() {}
+  template <class G>
+  function(G) {}
+};
+using StepFn = function<void(float* const*)>;
+void Record(int kind, const char* name, StepFn fn);
+}  // namespace plan_hooks
+}  // namespace focus
+
+// unnamed-raii near-miss: named guard, plus a *non-guard* temporary
+// expression statement (discarding a plain value is not a finding).
+struct Result {
+  int code;
+};
+Result Compute();
+void NamedGuardAndPlainTemporary() {
+  focus::obs::TraceSpan span("scope");
+  (void)span;
+  Compute();  // discarded, but not an RAII guard type
+}
+
+// lock-across-parallel near-miss: dispatch first, lock after.
+void ParallelThenLock(std::mutex& mu) {
+  focus::ParallelFor(0, 8, 1, [](long, long) {});
+  std::lock_guard<std::mutex> lock(mu);
+  (void)lock;
+}
+
+// plan-capture-safety near-miss: by-value and init-captures are fine.
+void ValueAndInitCaptures() {
+  int n = 3;
+  int big = 9;
+  focus::plan_hooks::Record(0, "ok", [n, stride = big + 1](float* const*) {
+    (void)n;
+    (void)stride;
+  });
+}
+
+// raw-getenv near-miss: a helper namespace's getenv is not ::getenv.
+namespace helpers {
+const char* getenv(const char*);
+}
+const char* ThroughHelper() {
+  return helpers::getenv("FOCUS_SIMD");
+}
+
+// nondeterministic-emit near-miss: emission over an ordered map.
+void WriteCountersJson(std::map<int, float>& counters) {
+  for (int kv : counters) {
+    (void)kv;
+  }
+}

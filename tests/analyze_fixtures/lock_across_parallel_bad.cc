@@ -1,0 +1,59 @@
+// lock-across-parallel: no lock guard may be live in scope at a
+// ParallelFor / RunShards call site.
+namespace std {
+class mutex {};
+template <class T>
+class lock_guard {
+ public:
+  explicit lock_guard(T&) {}
+};
+template <class T>
+class unique_lock {
+ public:
+  explicit unique_lock(T&) {}
+  void unlock() {}
+};
+}  // namespace std
+
+namespace focus {
+template <class F>
+void ParallelFor(long b, long e, long g, F f) {
+  (void)g;
+  f(b, e);
+}
+struct ThreadPool {
+  void RunShards(int, int);
+};
+}  // namespace focus
+
+void LockAcrossParallelFor(std::mutex& mu) {
+  std::lock_guard<std::mutex> lock(mu);
+  focus::ParallelFor(0, 8, 1, [](long, long) {});  // EXPECT-FINDING: lock-across-parallel
+}
+
+void LockAcrossRunShards(std::mutex& mu, focus::ThreadPool& pool) {
+  std::unique_lock<std::mutex> lock(mu);
+  pool.RunShards(4, 0);  // EXPECT-FINDING: lock-across-parallel
+}
+
+void LockAcrossParallelInInitializer(std::mutex& mu) {
+  std::lock_guard<std::mutex> lock(mu);
+  int first = (focus::ParallelFor(0, 4, 1, [](long, long) {}), 0);  // EXPECT-FINDING: lock-across-parallel
+  (void)first;
+}
+
+// Good: the guard's scope ends before the dispatch.
+void LockReleasedBeforeParallel(std::mutex& mu) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+  }
+  focus::ParallelFor(0, 8, 1, [](long, long) {});
+}
+
+// Good (by this rule): the call sits in a deferred lambda body, which
+// is not provably executed while the lock is held.
+void LockWithDeferredLambda(std::mutex& mu) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto deferred = [] { focus::ParallelFor(0, 8, 1, [](long, long) {}); };
+  (void)deferred;
+}

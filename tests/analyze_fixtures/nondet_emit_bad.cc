@@ -1,0 +1,75 @@
+// nondeterministic-emit: range-for over an unordered container inside
+// an emission-path function. Iteration order is hash-seed dependent,
+// so emitted JSON would not be byte-stable across runs/hosts.
+namespace std {
+template <class K, class V>
+class unordered_map {
+ public:
+  struct iterator {
+    iterator& operator++();
+    bool operator!=(const iterator&) const;
+    int operator*() const;
+  };
+  iterator begin();
+  iterator end();
+};
+template <class K>
+class unordered_set {
+ public:
+  struct iterator {
+    iterator& operator++();
+    bool operator!=(const iterator&) const;
+    int operator*() const;
+  };
+  iterator begin();
+  iterator end();
+};
+template <class K, class V>
+class map {
+ public:
+  struct iterator {
+    iterator& operator++();
+    bool operator!=(const iterator&) const;
+    int operator*() const;
+  };
+  iterator begin();
+  iterator end();
+};
+}  // namespace std
+
+void WriteReportJson(std::unordered_map<int, float>& counters) {
+  for (int kv : counters) {  // EXPECT-FINDING: nondeterministic-emit
+    (void)kv;
+  }
+}
+
+void ExportSpanNames(std::unordered_set<int>& names) {
+  for (int n : names) {  // EXPECT-FINDING: nondeterministic-emit
+    (void)n;
+  }
+}
+
+// Good: same loop, but not an emission path (accumulation order does
+// not reach any serialized output here).
+void Accumulate(std::unordered_map<int, float>& counters) {
+  for (int kv : counters) {
+    (void)kv;
+  }
+}
+
+// Good: emission path over an *ordered* container.
+void ExportSorted(std::map<int, float>& counters) {
+  for (int kv : counters) {
+    (void)kv;
+  }
+}
+
+// Good: an unordered container used inside the body (lookup, not
+// iteration source) does not make the loop nondeterministic.
+void WriteRowsJson(std::map<int, float>& rows,
+                   std::unordered_map<int, float>& lookup) {
+  for (int kv : rows) {
+    (void)kv;
+    (void)lookup;
+  }
+}

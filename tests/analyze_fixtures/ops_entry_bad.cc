@@ -1,0 +1,57 @@
+// op-entry-guard: public ops (this fixture overrides the ops.h list via
+// the marker below) must validate operands before dispatching work.
+// The filename matches ops_*.cc deliberately — the rule keys on it.
+// ANALYZE-OP-NAMES: BadDispatchFirst BadNoCheck GoodCheckFirst GoodLateDeclsThenCheck
+#define FOCUS_CHECK(cond) \
+  if (!(cond)) {          \
+  }
+
+namespace focus {
+
+template <class F>
+void ParallelFor(long b, long e, long g, F f) {
+  (void)g;
+  f(b, e);
+}
+
+struct Tensor {
+  long numel() const;
+  float* data() const;
+};
+
+Tensor BadDispatchFirst(const Tensor& x) {  // EXPECT-FINDING: op-entry-guard
+  float* p = x.data();
+  ParallelFor(0, x.numel(), 1, [p](long, long) {});
+  FOCUS_CHECK(x.numel() > 0);
+  return x;
+}
+
+Tensor BadNoCheck(const Tensor& x) {  // EXPECT-FINDING: op-entry-guard
+  float* p = x.data();
+  (void)p;
+  return x;
+}
+
+Tensor GoodCheckFirst(const Tensor& x) {
+  FOCUS_CHECK(x.numel() > 0);
+  float* p = x.data();
+  ParallelFor(0, x.numel(), 1, [p](long, long) {});
+  return x;
+}
+
+// Good: leading declarations that dispatch nothing may precede the
+// guard — the check must only dominate the first kernel launch.
+Tensor GoodLateDeclsThenCheck(const Tensor& x) {
+  const long n = x.numel();
+  FOCUS_CHECK(n > 0);
+  ParallelFor(0, n, 1, [](long, long) {});
+  return x;
+}
+
+// Not in the public-op list: no guard required.
+Tensor InternalHelper(const Tensor& x) {
+  ParallelFor(0, x.numel(), 1, [](long, long) {});
+  return x;
+}
+
+}  // namespace focus

@@ -1,0 +1,88 @@
+// plan-capture-safety: closures recorded into plan_hooks must capture
+// only by value. Stand-ins mirror tensor/plan_hooks.h shapes.
+namespace focus {
+namespace plan_hooks {
+
+template <class>
+class function;
+template <class R, class... A>
+class function<R(A...)> {
+ public:
+  function() {}
+  template <class G>
+  function(G) {}
+  template <class G>
+  function& operator=(G) {
+    return *this;
+  }
+};
+
+using StepFn = function<void(float* const*)>;
+
+struct StepRecord {
+  StepFn fn;
+};
+
+void Record(int kind, const char* name, StepFn fn);
+void RecordStep(StepRecord step);
+
+}  // namespace plan_hooks
+}  // namespace focus
+
+void BadDefaultRef() {
+  int n = 5;
+  focus::plan_hooks::Record(
+      0, "bad_default_ref",
+      [&](float* const*) { (void)n; });  // EXPECT-FINDING: plan-capture-safety
+}
+
+void BadNamedRef() {
+  int rows = 3;
+  focus::plan_hooks::Record(
+      0, "bad_named_ref",
+      [&rows](float* const*) { (void)rows; });  // EXPECT-FINDING: plan-capture-safety
+}
+
+struct Recorder {
+  int field = 0;
+  void BadThis() {
+    focus::plan_hooks::Record(
+        0, "bad_this",
+        [this](float* const*) { (void)field; });  // EXPECT-FINDING: plan-capture-safety
+  }
+  void BadImplicitThis() {
+    focus::plan_hooks::Record(
+        0, "bad_implicit_this",
+        [=](float* const*) { (void)field; });  // EXPECT-FINDING: plan-capture-safety
+  }
+};
+
+void BadAssignedStepFn() {
+  focus::plan_hooks::StepRecord rec;
+  int inner = 7;
+  rec.fn =
+      [&inner](float* const*) { (void)inner; };  // EXPECT-FINDING: plan-capture-safety
+  focus::plan_hooks::RecordStep(rec);
+}
+
+// Good: by-value captures; the nested [&] lambda runs immediately
+// inside the replay body (a ParallelFor body in the real ops) and is
+// exempt by design.
+void GoodValueCapture() {
+  int n = 4;
+  focus::plan_hooks::Record(0, "good", [n](float* const* bufs) {
+    auto inner = [&](long i) {
+      (void)bufs;
+      (void)n;
+      (void)i;
+    };
+    inner(0);
+  });
+}
+
+// Good: a [&] lambda outside any plan_hooks recording context.
+void GoodUnrelatedLambda() {
+  int n = 2;
+  auto local = [&] { (void)n; };
+  local();
+}

@@ -1,0 +1,23 @@
+// raw-getenv: std::getenv outside src/utils/ bypasses the hardened
+// env helpers (GetEnvOr / GetEnvIntInRangeOr) and their
+// warn-and-fallback contract for malformed values.
+extern "C" char* getenv(const char* name);
+namespace std {
+using ::getenv;
+}
+
+const char* ReadThreadsRaw() {
+  return getenv("FOCUS_NUM_THREADS");  // EXPECT-FINDING: raw-getenv
+}
+
+const char* ReadSimdRaw() {
+  return std::getenv("FOCUS_SIMD");  // EXPECT-FINDING: raw-getenv
+}
+
+// Good: a same-named function in another namespace is not ::getenv.
+namespace fake {
+const char* getenv(const char*);
+}
+const char* ReadThroughHelper() {
+  return fake::getenv("FOCUS_NUM_THREADS");
+}

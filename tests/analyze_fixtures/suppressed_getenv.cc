@@ -1,0 +1,11 @@
+// Suppression accounting: a real raw-getenv finding silenced by a
+// FOCUS-ANALYZE-OK marker. The selftest asserts the marker is consumed
+// (and would fail on the finding if the marker stopped matching).
+extern "C" char* getenv(const char* name);
+
+const char* SaveAndRestoreEnv() {
+  // A test that must distinguish unset from empty needs the raw
+  // pointer; the hardened helpers return a value either way.
+  // FOCUS-ANALYZE-OK(raw-getenv): save/restore needs unset-vs-set
+  return getenv("FOCUS_SIMD");
+}

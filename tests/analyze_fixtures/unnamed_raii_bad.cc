@@ -1,0 +1,39 @@
+// unnamed-raii: guard objects constructed as expression-statement
+// temporaries die at the ';' and protect nothing.
+namespace std {
+class mutex {};
+template <class T>
+class lock_guard {
+ public:
+  explicit lock_guard(T&) {}
+};
+}  // namespace std
+
+namespace focus {
+namespace obs {
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*) {}
+};
+}  // namespace obs
+class InferenceModeGuard {
+ public:
+  InferenceModeGuard() {}
+};
+}  // namespace focus
+
+void UnnamedGuards(std::mutex& mu) {
+  focus::obs::TraceSpan("forecast/window");  // EXPECT-FINDING: unnamed-raii
+  focus::InferenceModeGuard();  // EXPECT-FINDING: unnamed-raii
+  std::lock_guard<std::mutex>{mu};  // EXPECT-FINDING: unnamed-raii
+}
+
+// Good: named locals live to the end of the enclosing scope.
+void NamedGuards(std::mutex& mu) {
+  focus::obs::TraceSpan span("forecast/window");
+  focus::InferenceModeGuard inference;
+  std::lock_guard<std::mutex> lock(mu);
+  (void)span;
+  (void)inference;
+  (void)lock;
+}

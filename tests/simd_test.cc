@@ -378,6 +378,9 @@ TEST(SimdAccuracyTest, ExtremeArguments) {
 // --- dispatch ---------------------------------------------------------------
 
 TEST(SimdDispatchTest, EnvSelectsBackend) {
+  // Save/restore must distinguish unset from empty, which the hardened
+  // GetEnvOr helper deliberately hides behind its fallback.
+  // FOCUS-ANALYZE-OK(raw-getenv): env save/restore needs unset-vs-set
   const char* saved = std::getenv("FOCUS_SIMD");
   const std::string restore = saved != nullptr ? saved : "";
 
