@@ -1,0 +1,242 @@
+// Closed-loop load generator for the forecast serving engine (src/serve).
+//
+// Sweeps offered load (concurrent closed-loop clients) x admission
+// batching (batch-1 vs micro-batched) x serving thread count, and
+// reports per-config forecasts/sec plus p50/p95/p99 request latency from
+// the engine's "serve/latency_us" histogram. Each client thread submits
+// synchronously (Forecast = Submit + Wait), so offered load saturates at
+// clients / latency — the standard closed-loop model.
+//
+// Three admission modes per load level:
+//   batch1         — max_batch=1, window=0, plans off: every request is
+//                    its own eager batch-1 forward ("N batch-1 forwards",
+//                    the pre-serving baseline; eager forwards serialize
+//                    on the model, as any naive server's would).
+//   batch1_planned — max_batch=1, window=0, plans on: per-request planned
+//                    replay, no coalescing (isolates the plan win).
+//   batched        — max_batch=8, window=200us, plans on: the engine
+//                    proper — concurrent requests coalesce into one
+//                    planned batch-N forward from prewarmed plans, staged
+//                    through an arena lease.
+// At saturation `batched` must deliver >= 2x the forecasts/sec of
+// `batch1` at every serving thread count — results/BENCH_serve.json
+// records the sweep.
+//
+// Output: the unified bench-result schema (obs/bench_report.h) via
+// --focus-bench-json=<path> (or FOCUS_BENCH_JSON). ns_per_op is
+// 1e9 / forecasts-per-second — the throughput axis scripts/bench_diff.py
+// gates on; mean/p99 latency ride along as console output. --smoke runs
+// a reduced sweep with short measurement windows for the perf leg of
+// scripts/check.sh (baseline: results/BENCH_smoke_baseline.json).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/focus_model.h"
+#include "obs/bench_report.h"
+#include "obs/metrics_registry.h"
+#include "parallel/thread_pool.h"
+#include "serve/engine.h"
+#include "tensor/tensor.h"
+#include "utils/env.h"
+#include "utils/rng.h"
+
+namespace focus {
+namespace {
+
+constexpr int64_t kEntities = 8;
+constexpr int64_t kLookback = 96;
+
+core::FocusModel MakeServeModel() {
+  core::FocusConfig cfg;
+  cfg.lookback = kLookback;
+  cfg.horizon = 24;
+  cfg.num_entities = kEntities;
+  cfg.patch_len = 16;
+  cfg.d_model = 64;
+  cfg.readout_queries = 6;
+  cfg.seed = 9;
+  Rng rng(10);
+  return core::FocusModel(cfg, Tensor::Randn({16, 16}, rng));
+}
+
+enum class Mode { kBatch1Eager, kBatch1Planned, kBatched };
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kBatch1Eager: return "batch1";
+    case Mode::kBatch1Planned: return "batch1_planned";
+    case Mode::kBatched: return "batched";
+  }
+  return "?";
+}
+
+struct SweepPoint {
+  int clients;        // concurrent closed-loop submitters (offered load)
+  int serve_threads;  // engine workers
+  Mode mode;
+};
+
+struct SweepResult {
+  double forecasts_per_sec = 0.0;
+  obs::MetricsRegistry::HistogramSummary latency;  // microseconds
+  serve::EngineStats stats;
+  double mean_batch = 0.0;
+};
+
+std::string PointName(const SweepPoint& p) {
+  return "BM_ServeThroughput/clients:" + std::to_string(p.clients) +
+         "/serve_threads:" + std::to_string(p.serve_threads) + "/" +
+         ModeName(p.mode);
+}
+
+SweepResult RunPoint(core::FocusModel& model, const SweepPoint& point,
+                     double warmup_s, double measure_s) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  serve::ServeOptions opts;
+  opts.threads = point.serve_threads;
+  opts.batch_window_us = point.mode == Mode::kBatched ? 200 : 0;
+  opts.max_batch = point.mode == Mode::kBatched ? 8 : 1;
+  opts.use_plans = point.mode != Mode::kBatch1Eager;
+  serve::ForecastEngine engine(&model, kEntities, kLookback, opts);
+
+  // Each client cycles through its own pre-generated windows so the
+  // request path measures serving, not input synthesis.
+  std::vector<std::vector<Tensor>> windows(
+      static_cast<size_t>(point.clients));
+  for (int c = 0; c < point.clients; ++c) {
+    for (int i = 0; i < 4; ++i) {
+      Rng rng(100 + static_cast<uint64_t>(c) * 10 + i);
+      windows[static_cast<size_t>(c)].push_back(
+          Tensor::Randn({kEntities, kLookback}, rng));
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> completed{0};
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(point.clients));
+  for (int c = 0; c < point.clients; ++c) {
+    clients.emplace_back([&, c] {
+      const auto& mine = windows[static_cast<size_t>(c)];
+      for (size_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        (void)engine.Forecast(mine[i % mine.size()]);
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(warmup_s));
+  registry.ResetHistogram(serve::ForecastEngine::kLatencyMetric);
+  registry.ResetHistogram(serve::ForecastEngine::kBatchSizeMetric);
+  const serve::EngineStats warm = engine.stats();
+  const int64_t completed_before = completed.load();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(measure_s));
+  const int64_t completed_after = completed.load();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  SweepResult result;
+  result.latency =
+      registry.Summarize(serve::ForecastEngine::kLatencyMetric);
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+  engine.Shutdown();
+
+  const double elapsed =
+      std::chrono::duration<double>(t1 - t0).count();
+  result.forecasts_per_sec =
+      static_cast<double>(completed_after - completed_before) / elapsed;
+  result.stats = engine.stats();
+  const int64_t measured_batches = result.stats.batches - warm.batches;
+  if (measured_batches > 0) {
+    result.mean_batch =
+        static_cast<double>(result.stats.requests - warm.requests) /
+        static_cast<double>(measured_batches);
+  }
+  return result;
+}
+
+int Run(bool smoke, const std::string& json_path) {
+  ThreadPool::Global().Resize(1);  // kernel pool out of the way: the sweep
+                                   // axis is serving concurrency
+  core::FocusModel model = MakeServeModel();
+  model.SetTraining(false);
+
+  std::vector<SweepPoint> sweep;
+  if (smoke) {
+    // One saturated load level, baseline + batched: enough signal for
+    // the ns/op regression gate without a quiet-machine-length run.
+    sweep = {{4, 1, Mode::kBatch1Eager}, {4, 1, Mode::kBatched}};
+  } else {
+    for (int serve_threads : {1, 2}) {
+      for (int clients : {1, 4, 16}) {
+        for (Mode mode : {Mode::kBatch1Eager, Mode::kBatch1Planned,
+                          Mode::kBatched}) {
+          sweep.push_back({clients, serve_threads, mode});
+        }
+      }
+    }
+  }
+  const double warmup_s = smoke ? 0.05 : 0.15;
+  const double measure_s = smoke ? 0.2 : 0.6;
+
+  obs::BenchReport report = obs::MakeBenchReport(
+      static_cast<int>(ThreadPool::Global().num_threads()));
+  report.note = smoke ? "bench_serve --smoke" : "bench_serve";
+  std::printf(
+      "%-48s %14s %10s %10s %10s %8s\n", "config", "forecasts/s", "p50_us",
+      "p95_us", "p99_us", "batch");
+  for (const SweepPoint& point : sweep) {
+    const SweepResult r = RunPoint(model, point, warmup_s, measure_s);
+    std::printf("%-48s %14.1f %10.1f %10.1f %10.1f %8.2f\n",
+                PointName(point).c_str(), r.forecasts_per_sec,
+                r.latency.p50, r.latency.p95, r.latency.p99, r.mean_batch);
+    obs::BenchEntry entry;
+    entry.name = PointName(point);
+    entry.ns_per_op =
+        r.forecasts_per_sec > 0.0 ? 1e9 / r.forecasts_per_sec : 0.0;
+    entry.items_per_second = r.forecasts_per_sec;
+    entry.threads = static_cast<double>(point.serve_threads);
+    entry.label = ModeName(point.mode);
+    report.entries.push_back(std::move(entry));
+  }
+
+  if (!json_path.empty()) {
+    const Status status = obs::WriteBenchReport(report, json_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bench_serve: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("bench report written to %s (%zu entries)\n",
+                json_path.c_str(), report.entries.size());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace focus
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = focus::GetEnvOr("FOCUS_BENCH_JSON", "");
+  const std::string kJsonFlag = "--focus-bench-json=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind(kJsonFlag, 0) == 0) {
+      json_path = arg.substr(kJsonFlag.size());
+    } else {
+      std::fprintf(stderr,
+                   "bench_serve: unknown argument '%s' "
+                   "(want --smoke / --focus-bench-json=<path>)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  return focus::Run(smoke, json_path);
+}

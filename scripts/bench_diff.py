@@ -60,11 +60,14 @@ def diff_reports(baseline, candidate, threshold_pct, out=sys.stdout):
             regressions += 1
         print(f"  {name:<{width}}  {base_ns:12.1f} -> {cand_ns:12.1f} ns/op "
               f"({delta_pct:+7.2f}%)  {verdict}", file=out)
-    for name in sorted(set(baseline) - set(candidate)):
-        print(f"  warning: '{name}' in baseline only (removed?)", file=out)
-    for name in sorted(set(candidate) - set(baseline)):
-        print(f"  warning: '{name}' in candidate only (new benchmark)",
-              file=out)
+    base_only = sorted(set(baseline) - set(candidate))
+    if base_only:
+        print(f"  warning: {len(base_only)} benchmark(s) in baseline only "
+              f"(removed?): {', '.join(base_only)}", file=out)
+    cand_only = sorted(set(candidate) - set(baseline))
+    if cand_only:
+        print(f"  warning: {len(cand_only)} benchmark(s) in candidate only "
+              f"(new benchmark?): {', '.join(cand_only)}", file=out)
     return regressions
 
 
@@ -95,6 +98,21 @@ def selftest():
     # Disjoint benchmark sets are an error, not a silent pass.
     if diff_reports(base, {"BM_Other": 1.0}, 10.0, out=sink) == 0:
         print("selftest FAIL: disjoint benchmark sets passed")
+        return 1
+    # Asymmetric sets warn with the unmatched entry names on both sides.
+    mixed = dict(base)
+    del mixed["BM_MatMul/256"]
+    mixed["BM_NewKernel/8"] = 3.0
+    sink = io.StringIO()
+    if diff_reports(base, mixed, 10.0, out=sink) != 0:
+        print("selftest FAIL: asymmetric-but-overlapping sets regressed")
+        return 1
+    warned = sink.getvalue()
+    if ("baseline only" not in warned or "BM_MatMul/256" not in warned
+            or "candidate only" not in warned
+            or "BM_NewKernel/8" not in warned):
+        print("selftest FAIL: asymmetric-set warning did not name the "
+              "unmatched entries:\n" + warned)
         return 1
     print("bench_diff selftest OK")
     return 0

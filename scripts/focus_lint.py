@@ -38,6 +38,13 @@ repo rules — correctness contracts from the parallel-kernel layer:
                      compiler's lifetime solver can prove a slab pointer
                      valid, so no other layer may hold one. No NOLINT
                      escape.
+  arena-containment  ArenaLease (the serving scratch slab) is confined to
+                     src/serve/, its definition in tensor/allocator.{h,cc},
+                     and tests/. A lease's bump pointer has exactly one
+                     owner — the in-flight batch that checked it out; any
+                     other holder would be ad-hoc manual memory management
+                     outside the engine's checkout/return lifecycle. No
+                     NOLINT escape.
 
 format rules — mechanical style (what clang-format would enforce; kept
 tool-free so the check runs in a bare container):
@@ -212,6 +219,22 @@ def check_plan_containment(path, raw, code):
                "ExecutionPlan instead of holding slab memory directly")
 
 
+def check_arena_containment(path, raw, code):
+    # An ArenaLease's bump pointer belongs to exactly one in-flight batch;
+    # the serve engine owns the whole checkout/carve/return lifecycle.
+    # Any other holder would be hand-rolled memory management with no
+    # lifetime story, so leases are banned elsewhere (tests exercise the
+    # lease directly and are exempt); no NOLINT escape.
+    rel = str(path.relative_to(REPO_ROOT)).replace("\\", "/")
+    if (rel.startswith("src/serve/") or rel.startswith("tests/")
+            or rel in ("src/tensor/allocator.h", "src/tensor/allocator.cc")):
+        return
+    for m in re.finditer(r"\bArenaLease\b", code):
+        report(path, line_of(code, m.start()), "arena-containment",
+               "ArenaLease outside src/serve/; submit work to the serving "
+               "engine instead of carving arena scratch directly")
+
+
 def check_simd_containment(path, raw, code):
     # Raw intrinsics anywhere else would fork the numerics: the determinism
     # contract holds because every vector kernel is compiled once from
@@ -304,6 +327,7 @@ def main():
             check_raw_float_new(path, raw, code)
             check_perf_containment(path, raw, code)
             check_plan_containment(path, raw, code)
+            check_arena_containment(path, raw, code)
             check_simd_containment(path, raw, code)
             check_op_entry_guard(path, raw, code, op_names)
         if "format" in families:

@@ -102,6 +102,7 @@ MetricsRegistry::HistogramSummary MetricsRegistry::Summarize(
   summary.mean = total / static_cast<double>(samples.size());
   summary.p50 = NearestRank(samples, 0.50);
   summary.p95 = NearestRank(samples, 0.95);
+  summary.p99 = NearestRank(samples, 0.99);
   return summary;
 }
 
@@ -162,9 +163,13 @@ void PublishAllocatorMetrics() {
   registry.AddCounter("alloc/frees_released",
                       now.frees_released - last.frees_released);
   registry.AddCounter("alloc/trims", now.trims - last.trims);
+  registry.AddCounter("alloc/arena_leases",
+                      now.arena_leases - last.arena_leases);
   registry.SetGauge("alloc/cached_bytes",
                     static_cast<double>(now.cached_bytes));
   registry.SetGauge("alloc/raw_bytes", static_cast<double>(now.raw_bytes));
+  registry.SetGauge("alloc/arena_leased_bytes",
+                    static_cast<double>(now.arena_leased_bytes));
   last = now;
 }
 

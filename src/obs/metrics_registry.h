@@ -35,7 +35,8 @@ class MetricsRegistry {
 
   struct HistogramSummary {
     int64_t count = 0;
-    double min = 0.0, max = 0.0, mean = 0.0, p50 = 0.0, p95 = 0.0;
+    double min = 0.0, max = 0.0, mean = 0.0, p50 = 0.0, p95 = 0.0,
+           p99 = 0.0;
   };
   // Nearest-rank percentiles over all recorded samples; zeros when empty.
   HistogramSummary Summarize(const std::string& name) const;

@@ -127,6 +127,7 @@ void AppendHistogramJson(std::string& out,
   out += ",\"mean\":" + FormatDouble(h.mean);
   out += ",\"p50\":" + FormatDouble(h.p50);
   out += ",\"p95\":" + FormatDouble(h.p95);
+  out += ",\"p99\":" + FormatDouble(h.p99);
   out += "}";
 }
 

@@ -1,0 +1,100 @@
+#include "serve/request_queue.h"
+
+#include <chrono>
+#include <utility>
+
+#include "utils/check.h"
+
+namespace focus {
+namespace serve {
+
+RequestQueue::RequestQueue(int capacity) {
+  FOCUS_CHECK_GT(capacity, 0) << "request queue needs capacity >= 1";
+  ring_.resize(static_cast<size_t>(capacity));
+}
+
+bool RequestQueue::Push(Request request) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] {
+      return size_ < static_cast<int64_t>(ring_.size()) || closed_;
+    });
+    if (closed_) return false;
+    ring_[static_cast<size_t>((head_ + size_) %
+                              static_cast<int64_t>(ring_.size()))] =
+        std::move(request);
+    ++size_;
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+bool RequestQueue::TryPush(Request request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || size_ >= static_cast<int64_t>(ring_.size())) return false;
+    ring_[static_cast<size_t>((head_ + size_) %
+                              static_cast<int64_t>(ring_.size()))] =
+        std::move(request);
+    ++size_;
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+int RequestQueue::DrainLocked(Request* out, int max_count) {
+  int taken = 0;
+  while (taken < max_count && size_ > 0) {
+    Request& slot = ring_[static_cast<size_t>(head_)];
+    out[taken] = std::move(slot);
+    slot = Request{};  // drop the window reference promptly
+    head_ = (head_ + 1) % static_cast<int64_t>(ring_.size());
+    --size_;
+    ++taken;
+  }
+  return taken;
+}
+
+int RequestQueue::PopBatch(Request* out, int max_batch, int64_t window_us) {
+  FOCUS_CHECK_GT(max_batch, 0);
+  int got = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return 0;  // closed and fully drained
+    got = DrainLocked(out, max_batch);
+    if (got < max_batch && window_us > 0 && !closed_) {
+      // Admission window: keep the batch open for stragglers arriving
+      // within window_us of the first admitted request.
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(window_us);
+      while (got < max_batch && !closed_) {
+        if (!not_empty_.wait_until(lock, deadline, [&] {
+              return size_ > 0 || closed_;
+            })) {
+          break;  // window elapsed
+        }
+        got += DrainLocked(out + got, max_batch - got);
+      }
+    }
+  }
+  not_full_.notify_all();
+  return got;
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+int64_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+}  // namespace serve
+}  // namespace focus

@@ -1,37 +1,63 @@
 #include "tensor/memory.h"
 
-#include <algorithm>
+#include <atomic>
 
 namespace focus {
 
 namespace {
-// Tensor buffers are only ever allocated/freed on the thread that launches
-// kernels — ParallelFor bodies operate on raw pointers into preallocated
-// buffers and never construct tensors (see DESIGN.md, "Parallel kernel
-// execution"). Plain counters therefore keep the hot allocation path free
-// of atomic traffic even with the thread pool enabled.
-int64_t g_current_bytes = 0;
-int64_t g_peak_bytes = 0;
-int64_t g_total_allocations = 0;
-int64_t g_total_allocated_bytes = 0;
+// Tensor buffers were historically allocated only on the thread that
+// launches kernels (ParallelFor bodies operate on raw pointers into
+// preallocated buffers and never construct tensors), but the serving
+// engine's workers (src/serve) run whole forwards concurrently, so the
+// counters must be thread-safe. Relaxed atomics: these are statistics,
+// not synchronization, and the hot-path cost is one uncontended
+// lock-free add per alloc/free.
+std::atomic<int64_t> g_current_bytes{0};
+std::atomic<int64_t> g_peak_bytes{0};
+std::atomic<int64_t> g_total_allocations{0};
+std::atomic<int64_t> g_total_allocated_bytes{0};
+
+void RaisePeakTo(int64_t current) {
+  int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (current > peak &&
+         !g_peak_bytes.compare_exchange_weak(peak, current,
+                                             std::memory_order_relaxed)) {
+  }
+}
 }  // namespace
 
-int64_t MemoryStats::CurrentBytes() { return g_current_bytes; }
-int64_t MemoryStats::PeakBytes() { return g_peak_bytes; }
-int64_t MemoryStats::TotalAllocations() { return g_total_allocations; }
-int64_t MemoryStats::TotalAllocatedBytes() { return g_total_allocated_bytes; }
-
-void MemoryStats::ResetPeak() { g_peak_bytes = g_current_bytes; }
-
-void MemoryStats::SetPeak(int64_t bytes) { g_peak_bytes = bytes; }
-
-void MemoryStats::RecordAlloc(int64_t bytes) {
-  g_current_bytes += bytes;
-  ++g_total_allocations;
-  g_total_allocated_bytes += bytes;
-  g_peak_bytes = std::max(g_peak_bytes, g_current_bytes);
+int64_t MemoryStats::CurrentBytes() {
+  return g_current_bytes.load(std::memory_order_relaxed);
+}
+int64_t MemoryStats::PeakBytes() {
+  return g_peak_bytes.load(std::memory_order_relaxed);
+}
+int64_t MemoryStats::TotalAllocations() {
+  return g_total_allocations.load(std::memory_order_relaxed);
+}
+int64_t MemoryStats::TotalAllocatedBytes() {
+  return g_total_allocated_bytes.load(std::memory_order_relaxed);
 }
 
-void MemoryStats::RecordFree(int64_t bytes) { g_current_bytes -= bytes; }
+void MemoryStats::ResetPeak() {
+  g_peak_bytes.store(g_current_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+void MemoryStats::SetPeak(int64_t bytes) {
+  g_peak_bytes.store(bytes, std::memory_order_relaxed);
+}
+
+void MemoryStats::RecordAlloc(int64_t bytes) {
+  const int64_t current =
+      g_current_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  g_total_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_total_allocated_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  RaisePeakTo(current);
+}
+
+void MemoryStats::RecordFree(int64_t bytes) {
+  g_current_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+}
 
 }  // namespace focus

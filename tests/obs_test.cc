@@ -304,6 +304,7 @@ TEST_F(ObsTest, MetricsRegistryCountersGaugesPercentiles) {
   EXPECT_DOUBLE_EQ(summary.max, 100.0);
   EXPECT_DOUBLE_EQ(summary.p50, 50.0);
   EXPECT_DOUBLE_EQ(summary.p95, 95.0);
+  EXPECT_DOUBLE_EQ(summary.p99, 99.0);
   registry.ResetHistogram("test/h");
   EXPECT_EQ(registry.Summarize("test/h").count, 0);
 }
@@ -323,6 +324,7 @@ TEST_F(ObsTest, HistogramPercentilesNearestRank) {
   EXPECT_EQ(ten.count, 10);
   EXPECT_DOUBLE_EQ(ten.p50, 50.0);
   EXPECT_DOUBLE_EQ(ten.p95, 100.0);
+  EXPECT_DOUBLE_EQ(ten.p99, 100.0);
   EXPECT_DOUBLE_EQ(ten.mean, 55.0);
 
   // A single sample is every percentile at once.
@@ -331,6 +333,7 @@ TEST_F(ObsTest, HistogramPercentilesNearestRank) {
   const auto one = registry.Summarize("test/ranks");
   EXPECT_DOUBLE_EQ(one.p50, 7.0);
   EXPECT_DOUBLE_EQ(one.p95, 7.0);
+  EXPECT_DOUBLE_EQ(one.p99, 7.0);
 
   // Insertion order must not matter: observe descending, summarize sorted.
   registry.ResetHistogram("test/ranks");
@@ -341,6 +344,7 @@ TEST_F(ObsTest, HistogramPercentilesNearestRank) {
   EXPECT_DOUBLE_EQ(descending.min, 1.0);
   EXPECT_DOUBLE_EQ(descending.p50, 50.0);
   EXPECT_DOUBLE_EQ(descending.p95, 95.0);
+  EXPECT_DOUBLE_EQ(descending.p99, 99.0);
   registry.ResetHistogram("test/ranks");
 }
 

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -20,6 +21,7 @@
 #include "core/planned_forecaster.h"
 #include "optim/optimizer.h"
 #include "parallel/thread_pool.h"
+#include "serve/engine.h"
 #include "tensor/allocator.h"
 #include "tensor/ops.h"
 #include "tensor/simd/vec.h"
@@ -424,6 +426,85 @@ TEST(ParityTest, ForecastPlannedVsEagerBitIdentical) {
       }
       ThreadPool::Global().Resize(1);
     }
+  }
+  simd::ReinitFromEnv();
+}
+
+// The serving axis of the bit-identity contract: a forecast answered by
+// the serving engine must match the eager single-request forward of the
+// same window byte-for-byte, no matter which requests it was admission-
+// batched with, how the batch was ladder-padded, how many serving workers
+// raced for the queue, the kernel pool size, or the SIMD backend. Row
+// independence of every batched kernel plus plan-replay bit-identity
+// reduce all of these axes to the one golden eager reference.
+TEST(ParityTest, ServedVsEagerBitIdentical) {
+  core::FocusConfig cfg;
+  cfg.lookback = 32;
+  cfg.horizon = 8;
+  cfg.num_entities = 3;
+  cfg.patch_len = 8;
+  cfg.d_model = 16;
+  cfg.readout_queries = 2;
+  cfg.seed = 23;
+  constexpr int kWindows = 6;
+  constexpr int kClients = 2;
+
+  std::vector<simd::Backend> backends = {simd::Backend::kScalar};
+  if (simd::Avx2Available()) backends.push_back(simd::Backend::kAvx2);
+  for (simd::Backend backend : backends) {
+    ASSERT_TRUE(simd::SetBackend(backend));
+    const char* backend_name =
+        backend == simd::Backend::kAvx2 ? "avx2" : "scalar";
+    Rng prng(24);
+    auto model =
+        std::make_unique<core::FocusModel>(cfg, Tensor::Randn({4, 8}, prng));
+    model->SetTraining(false);
+
+    // Golden references: eager batch-1 forwards on a serial pool.
+    ThreadPool::Global().Resize(1);
+    std::vector<Tensor> windows, refs;
+    for (int i = 0; i < kWindows; ++i) {
+      Rng rng(100 + static_cast<uint64_t>(i));
+      windows.push_back(Tensor::Randn({3, 32}, rng));
+      InferenceModeGuard inference;
+      refs.push_back(model->Forward(windows.back().Reshape({1, 3, 32})));
+    }
+
+    for (int serve_threads : {1, 2}) {
+      for (int pool_threads : {1, 4}) {
+        ThreadPool::Global().Resize(pool_threads);
+        for (bool batched : {false, true}) {
+          serve::ServeOptions opts;
+          opts.threads = serve_threads;
+          opts.batch_window_us = batched ? 500 : 0;
+          opts.max_batch = batched ? 8 : 1;
+          serve::ForecastEngine engine(model.get(), 3, 32, opts);
+          std::vector<std::thread> clients;
+          clients.reserve(kClients);
+          for (int c = 0; c < kClients; ++c) {
+            clients.emplace_back([&, c] {
+              for (int i = 0; i < kWindows; ++i) {
+                const int w = (i + c) % kWindows;
+                Tensor served = engine.Forecast(windows[w]);
+                ASSERT_TRUE(served.defined());
+                ASSERT_EQ(served.numel(), refs[w].numel());
+                ASSERT_EQ(0,
+                          std::memcmp(served.data(), refs[w].data(),
+                                      static_cast<size_t>(served.numel()) *
+                                          sizeof(float)))
+                    << "window " << w << " differs when served ("
+                    << backend_name << ", " << serve_threads
+                    << " serve threads, " << pool_threads
+                    << " pool threads, "
+                    << (batched ? "batched" : "batch-1") << ")";
+              }
+            });
+          }
+          for (std::thread& t : clients) t.join();
+        }
+      }
+    }
+    ThreadPool::Global().Resize(1);
   }
   simd::ReinitFromEnv();
 }

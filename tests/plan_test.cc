@@ -18,9 +18,11 @@
 
 #include "core/focus_model.h"
 #include "core/planned_forecaster.h"
+#include "obs/metrics_registry.h"
 #include "parallel/thread_pool.h"
 #include "tensor/allocator.h"
 #include "tensor/ops.h"
+#include "tensor/simd/vec.h"
 #include "tensor/tensor.h"
 
 namespace focus {
@@ -405,6 +407,97 @@ TEST(PlanTest, UninstrumentedOpFailsCaptureAndFallsBackEager) {
   ExpectSameBytes(forecaster.Forward(x), eager, "memoized eager fallback");
   EXPECT_FALSE(forecaster.last_was_planned());
   EXPECT_EQ(forecaster.plan_for(x.shape()), nullptr);
+}
+
+TEST(PlanTest, PrewarmCompilesLadderAndFirstForwardReplays) {
+  auto model = SmallModel();
+  PlannedForecaster forecaster(model.get());
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  const int64_t before = registry.CounterValue("plan/prewarm");
+  EXPECT_EQ(forecaster.PrewarmBatchSizes({1, 3, 32}, {1, 2, 4}), 3);
+  EXPECT_EQ(registry.CounterValue("plan/prewarm") - before, 3);
+  for (int64_t b : {1, 2, 4}) {
+    EXPECT_NE(forecaster.plan_for(Shape{b, 3, 32}), nullptr)
+        << "batch " << b;
+  }
+  EXPECT_EQ(forecaster.plan_for(Shape{3, 3, 32}), nullptr);
+
+  // A prewarmed shape replays on its very first Forward — no capture.
+  Rng rng(21);
+  Tensor x = Tensor::Randn({2, 3, 32}, rng);
+  Tensor eager;
+  {
+    InferenceModeGuard inference;
+    eager = model->Forward(x);
+  }
+  ExpectSameBytes(forecaster.Forward(x), eager, "prewarmed first forward");
+  EXPECT_TRUE(forecaster.last_was_planned());
+
+  // Prewarming again is idempotent: live plans are kept, none recompiled.
+  EXPECT_EQ(forecaster.PrewarmBatchSizes({1, 3, 32}, {1, 2, 4}), 0);
+  EXPECT_EQ(registry.CounterValue("plan/prewarm") - before, 3);
+}
+
+TEST(PlanTest, PrewarmSkipsUncapturableShapes) {
+  Conv2dModel model;
+  model.SetTraining(false);
+  PlannedForecaster forecaster(&model);
+  EXPECT_EQ(forecaster.PrewarmBatchSizes({1, 4, 16}, {1, 2}), 0);
+  EXPECT_EQ(forecaster.plan_for(Shape{1, 4, 16}), nullptr);
+  // The prewarm failures are memoized; Forward serves eagerly.
+  Rng rng(22);
+  Tensor x = Tensor::Randn({2, 4, 16}, rng);
+  Tensor eager;
+  {
+    InferenceModeGuard inference;
+    eager = model.Forward(x);
+  }
+  ExpectSameBytes(forecaster.Forward(x), eager, "eager after failed prewarm");
+  EXPECT_FALSE(forecaster.last_was_planned());
+}
+
+// Conv2dModel with an entry counter, to observe exactly when the
+// forecaster re-attempts capture (a capture attempt costs one model
+// forward on top of the eager fallback's).
+class CountingConv2dModel : public Conv2dModel {
+ public:
+  Tensor Forward(const Tensor& x) override {
+    ++forwards;
+    return Conv2dModel::Forward(x);
+  }
+  int forwards = 0;
+};
+
+// Regression test: the failed-shape memo is keyed by SIMD backend. A
+// capture that failed under one backend must be retried after the
+// backend changes instead of pinning the shape eager forever.
+TEST(PlanTest, FailedShapeMemoRetriedAfterBackendChange) {
+  if (!simd::Avx2Available()) {
+    GTEST_SKIP() << "needs two SIMD backends to switch between";
+  }
+  ASSERT_TRUE(simd::SetBackend(simd::Backend::kScalar));
+  CountingConv2dModel model;
+  model.SetTraining(false);
+  Rng rng(23);
+  Tensor x = Tensor::Randn({1, 4, 16}, rng);
+  PlannedForecaster forecaster(&model);
+
+  (void)forecaster.Forward(x);  // capture attempt + eager fallback
+  EXPECT_EQ(model.forwards, 2);
+  (void)forecaster.Forward(x);  // memoized: eager only
+  EXPECT_EQ(model.forwards, 3);
+
+  ASSERT_TRUE(simd::SetBackend(simd::Backend::kAvx2));
+  // The memo was recorded under the scalar backend; with AVX2 active the
+  // forecaster must retry the capture (one extra forward) rather than
+  // trusting the stale entry.
+  (void)forecaster.Forward(x);
+  EXPECT_EQ(model.forwards, 5);
+  EXPECT_FALSE(forecaster.last_was_planned());
+  (void)forecaster.Forward(x);  // re-memoized under the new backend
+  EXPECT_EQ(model.forwards, 6);
+
+  simd::ReinitFromEnv();
 }
 
 TEST(PlanTest, InferenceModeBuildsNoTape) {
