@@ -3,6 +3,7 @@
 
 Usage:
   scripts/bench_diff.py BASELINE.json CANDIDATE.json [--threshold-pct=10]
+  scripts/bench_diff.py BASELINE.json CANDIDATE.json --update-baseline
   scripts/bench_diff.py --selftest
 
 Both inputs must be unified bench reports (obs/bench_report.h schema,
@@ -11,6 +12,15 @@ match the relative ns/op change is printed, and the script exits nonzero
 if any benchmark slowed down by more than --threshold-pct percent.
 Benchmarks present in only one file are warned about but never fail the
 gate (new/removed benchmarks are not regressions).
+
+--update-baseline rewrites BASELINE.json in place after an intentional
+perf change: every baseline entry whose name also appears in CANDIDATE
+is replaced wholesale with the candidate's entry (ns_per_op and all
+derived fields, including the optional bytes_per_op). Entries present
+only in the baseline are kept untouched, entries present only in the
+candidate are NOT added — curating which benchmarks gate stays a manual,
+reviewable edit. The report header (date/machine/build) is left as-is so
+the diff shows exactly which numbers were re-blessed.
 
 --selftest exercises the gate with synthetic reports: identical inputs
 must pass, and a 20% slowdown must fail at the default threshold.
@@ -21,13 +31,17 @@ import json
 import sys
 
 
-def load_report(path):
+def load_doc(path):
     with open(path) as fh:
         doc = json.load(fh)
     if doc.get("focus_bench_schema") != 1:
         raise ValueError(
             f"{path}: missing focus_bench_schema=1 header "
             "(not a unified bench report)")
+    return doc
+
+
+def entries_of(doc, path="<doc>"):
     entries = {}
     for bench in doc.get("benchmarks", []):
         name = bench.get("name")
@@ -36,6 +50,36 @@ def load_report(path):
             raise ValueError(f"{path}: benchmark entry missing name/ns_per_op")
         entries[name] = float(ns)
     return entries
+
+
+def load_report(path):
+    return entries_of(load_doc(path), path)
+
+
+def update_baseline(base_doc, cand_doc, out=sys.stdout):
+    """Replace matching baseline entries with the candidate's in place.
+
+    Returns the number of entries updated. Baseline-only entries are
+    kept; candidate-only entries are reported but never added.
+    """
+    cand_by_name = {}
+    for bench in cand_doc.get("benchmarks", []):
+        if bench.get("name") is not None:
+            cand_by_name[bench["name"]] = bench
+    updated = 0
+    benchmarks = base_doc.get("benchmarks", [])
+    for i, bench in enumerate(benchmarks):
+        name = bench.get("name")
+        if name in cand_by_name:
+            benchmarks[i] = cand_by_name[name]
+            print(f"  updated {name}", file=out)
+            updated += 1
+    skipped = sorted(set(cand_by_name) -
+                     {b.get("name") for b in benchmarks})
+    if skipped:
+        print(f"  note: {len(skipped)} candidate-only benchmark(s) not "
+              f"added to baseline: {', '.join(skipped)}", file=out)
+    return updated
 
 
 def diff_reports(baseline, candidate, threshold_pct, out=sys.stdout):
@@ -114,6 +158,48 @@ def selftest():
         print("selftest FAIL: asymmetric-set warning did not name the "
               "unmatched entries:\n" + warned)
         return 1
+    # --update-baseline: matching entries are replaced wholesale (all
+    # fields), baseline-only entries survive, candidate-only entries are
+    # never added.
+    base_doc = {
+        "focus_bench_schema": 1,
+        "note": "selftest baseline",
+        "benchmarks": [
+            {"name": "BM_MatMul/256", "ns_per_op": 1000.0, "threads": 1},
+            {"name": "BM_Legacy/1", "ns_per_op": 7.0, "threads": 1},
+        ],
+    }
+    cand_doc = {
+        "focus_bench_schema": 1,
+        "benchmarks": [
+            {"name": "BM_MatMul/256", "ns_per_op": 800.0, "threads": 1,
+             "bytes_per_op": 786432.0},
+            {"name": "BM_NewKernel/8", "ns_per_op": 3.0, "threads": 1},
+        ],
+    }
+    sink = io.StringIO()
+    if update_baseline(base_doc, cand_doc, out=sink) != 1:
+        print("selftest FAIL: expected exactly 1 baseline entry updated")
+        return 1
+    names = [b["name"] for b in base_doc["benchmarks"]]
+    if names != ["BM_MatMul/256", "BM_Legacy/1"]:
+        print(f"selftest FAIL: baseline entry set changed: {names}")
+        return 1
+    refreshed = base_doc["benchmarks"][0]
+    if (refreshed["ns_per_op"] != 800.0
+            or refreshed.get("bytes_per_op") != 786432.0):
+        print("selftest FAIL: matching entry not replaced wholesale: "
+              f"{refreshed}")
+        return 1
+    if base_doc["benchmarks"][1]["ns_per_op"] != 7.0:
+        print("selftest FAIL: baseline-only entry was modified")
+        return 1
+    if "BM_NewKernel/8" not in sink.getvalue():
+        print("selftest FAIL: candidate-only entry not reported as skipped")
+        return 1
+    if base_doc.get("note") != "selftest baseline":
+        print("selftest FAIL: report header was touched")
+        return 1
     print("bench_diff selftest OK")
     return 0
 
@@ -127,6 +213,9 @@ def main(argv):
                         help="max tolerated ns/op slowdown (default 10)")
     parser.add_argument("--selftest", action="store_true",
                         help="run the built-in synthetic-regression check")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite BASELINE in place, replacing entries "
+                             "whose name matches one in CANDIDATE")
     args = parser.parse_args(argv)
 
     if args.selftest:
@@ -135,11 +224,27 @@ def main(argv):
         parser.error("baseline and candidate are required (or --selftest)")
 
     try:
-        baseline = load_report(args.baseline)
-        candidate = load_report(args.candidate)
+        base_doc = load_doc(args.baseline)
+        cand_doc = load_doc(args.candidate)
+        baseline = entries_of(base_doc, args.baseline)
+        candidate = entries_of(cand_doc, args.candidate)
     except (OSError, ValueError, json.JSONDecodeError) as err:
         print(f"bench_diff: {err}", file=sys.stderr)
         return 2
+
+    if args.update_baseline:
+        print(f"bench_diff: refreshing {args.baseline} from {args.candidate}")
+        updated = update_baseline(base_doc, cand_doc)
+        if not updated:
+            print("bench_diff: no matching benchmarks to update",
+                  file=sys.stderr)
+            return 1
+        with open(args.baseline, "w") as fh:
+            json.dump(base_doc, fh, indent=1)
+            fh.write("\n")
+        print(f"bench_diff: {updated} entr{'y' if updated == 1 else 'ies'} "
+              "re-blessed")
+        return 0
 
     print(f"bench_diff: {args.baseline} vs {args.candidate} "
           f"(threshold {args.threshold_pct:g}%)")

@@ -164,6 +164,11 @@ std::string BenchReport::ToJson() const {
     out += ",\"gflops\":" + FormatDouble(e.gflops);
     out += ",\"items_per_second\":" + FormatDouble(e.items_per_second);
     out += ",\"threads\":" + FormatDouble(e.threads);
+    // Optional: omitted when not measured, so reports predating the
+    // field byte-match their re-serialization.
+    if (e.bytes_per_op > 0.0) {
+      out += ",\"bytes_per_op\":" + FormatDouble(e.bytes_per_op);
+    }
     out += ",\"label\":\"";
     AppendEscaped(out, e.label);
     out += "\"}";
@@ -238,6 +243,7 @@ bool ParseBenchReport(const std::string& json, BenchReport* out) {
     GetNumber(obj, "gflops", 0, &entry.gflops);
     GetNumber(obj, "items_per_second", 0, &entry.items_per_second);
     GetNumber(obj, "threads", 0, &entry.threads);
+    GetNumber(obj, "bytes_per_op", 0, &entry.bytes_per_op);
     GetString(obj, "label", 0, &entry.label);
     out->entries.push_back(std::move(entry));
     cursor = close + 1;

@@ -19,7 +19,9 @@
 //   }
 //
 // ns_per_op is the one mandatory per-entry metric (the regression gate's
-// axis); gflops/items_per_second/threads/label are optional context.
+// axis); gflops/items_per_second/threads/label/bytes_per_op are optional
+// context (bytes_per_op — estimated operand bytes moved per op — is
+// emitted only when nonzero, so pre-existing reports parse unchanged).
 // Adopted by bench_kernels (--focus-bench-json=<path> / FOCUS_BENCH_JSON)
 // and bench_fig6_efficiency (--bench-json=<path>); the pre-schema files in
 // results/ were backfilled by scripts/bench_schema_backfill.py.
@@ -41,6 +43,7 @@ struct BenchEntry {
   double gflops = 0.0;           // 0 when the bench doesn't measure it
   double items_per_second = 0.0;  // 0 when not measured
   double threads = 0.0;           // pool size the entry ran with
+  double bytes_per_op = 0.0;      // operand bytes moved per op; 0 = n/a
   std::string label;              // e.g. the SIMD backend
 };
 

@@ -1,0 +1,54 @@
+// bf16 (brain float 16) storage type: the top 16 bits of an IEEE-754
+// binary32, used as a STORAGE-ONLY dtype for mixed-precision inference.
+//
+// Contract (DESIGN.md Sec. 13): bf16 buffers hold weights/activations at
+// rest; every arithmetic op unpacks to float32 and accumulates in
+// float32. Autograd never sees bf16 — training stays full precision.
+//
+// Conversions are pure integer bit manipulation, shared verbatim by the
+// scalar and AVX2 SIMD backends (the AVX2 pack kernel evaluates exactly
+// the integer sequence below on 8 lanes), so packed bytes are
+// bit-identical across backends and thread counts by construction:
+//
+//   pack:   round-to-nearest-even on bit 16 — bits + 0x7FFF + lsb(bit16),
+//           then take the high half. NaN is special-cased to a quiet NaN
+//           that keeps the payload's top bits (the RNE add could carry a
+//           signaling NaN into infinity). +-Inf survives the RNE add
+//           unchanged (mantissa bits are zero), subnormals flush through
+//           the same rounding as any other value.
+//   unpack: high half << 16 — exact, every bf16 is a representable f32.
+#ifndef FOCUS_TENSOR_BF16_H_
+#define FOCUS_TENSOR_BF16_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace focus {
+
+// Number of bf16 payload bytes for n elements (plan slab sizing).
+inline constexpr int64_t Bf16Bytes(int64_t n) { return n * 2; }
+
+inline uint16_t Bf16FromF32(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  const uint32_t exp = bits & 0x7F800000u;
+  const uint32_t mant = bits & 0x007FFFFFu;
+  if (exp == 0x7F800000u && mant != 0) {
+    // NaN: truncate the payload but force a mantissa bit so the result
+    // stays NaN (and is quiet) instead of rounding up into infinity.
+    return static_cast<uint16_t>((bits >> 16) | 0x0040u);
+  }
+  const uint32_t rounded = bits + 0x7FFFu + ((bits >> 16) & 1u);
+  return static_cast<uint16_t>(rounded >> 16);
+}
+
+inline float F32FromBf16(uint16_t h) {
+  const uint32_t bits = static_cast<uint32_t>(h) << 16;
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+}  // namespace focus
+
+#endif  // FOCUS_TENSOR_BF16_H_

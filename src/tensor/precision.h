@@ -1,0 +1,49 @@
+// Inference precision mode: selects the storage/compute precision used by
+// inference-time ops (matmul, ProtoAttn assignment). Modeled on GradMode
+// (tensor.h): a thread-local flag read at op entry on the launching
+// thread, so concurrent serving tenants can run different precisions.
+//
+//   kF32       default; bit-identical to the historical float32 path.
+//   kBf16      weights/activations stored as bf16 (bf16.h), f32 accumulate.
+//   kInt8Proto additionally quantizes the frozen prototype bank to int8
+//              with int32 accumulation in ProtoAttn token assignment.
+//
+// The process-wide default is parsed once from FOCUS_PRECISION
+// ({f32,bf16,int8proto}; unset or unrecognized -> f32 with a warning) and
+// seeds each thread's initial mode. Training ignores the mode entirely:
+// the low-precision paths only engage when gradients are off.
+#ifndef FOCUS_TENSOR_PRECISION_H_
+#define FOCUS_TENSOR_PRECISION_H_
+
+namespace focus {
+
+enum class Precision { kF32, kBf16, kInt8Proto };
+
+const char* PrecisionName(Precision p);
+
+// Default precision for new threads: FOCUS_PRECISION env, parsed once.
+Precision DefaultPrecision();
+
+// Thread-local precision flag (same shape as GradMode).
+class PrecisionMode {
+ public:
+  static Precision Get();
+  static void Set(Precision p);
+};
+
+class PrecisionGuard {
+ public:
+  explicit PrecisionGuard(Precision p) : prev_(PrecisionMode::Get()) {
+    PrecisionMode::Set(p);
+  }
+  ~PrecisionGuard() { PrecisionMode::Set(prev_); }
+  PrecisionGuard(const PrecisionGuard&) = delete;
+  PrecisionGuard& operator=(const PrecisionGuard&) = delete;
+
+ private:
+  Precision prev_;
+};
+
+}  // namespace focus
+
+#endif  // FOCUS_TENSOR_PRECISION_H_
